@@ -1,0 +1,345 @@
+//! A uniform front-end over the paper's four algorithms, used by the
+//! experiment harness, the advisor, and the benchmark binaries.
+
+use cutfit_cluster::{ClusterConfig, SimError, SimReport};
+use cutfit_engine::{ExecutorMode, PregelConfig};
+use cutfit_graph::types::PartId;
+use cutfit_graph::Graph;
+use cutfit_partition::{PartitionMetrics, Partitioner};
+
+use crate::cc::connected_components;
+use crate::pagerank::pagerank;
+use crate::sssp::{sssp, Sssp};
+use crate::triangles::{canonicalize, triangle_count_partitioned};
+
+/// The paper's two-way algorithm taxonomy (§4, final paragraph): complexity
+/// dominated by edges/messages vs by per-vertex state. It drives the
+/// advisor's metric choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmClass {
+    /// Communication-bound, small per-vertex state: optimise CommCost
+    /// (PageRank, Connected Components, SSSP).
+    EdgeBound,
+    /// Heavy per-vertex state and computation: optimise Cut vertices
+    /// (Triangle Count).
+    VertexStateBound,
+}
+
+/// One of the paper's four benchmark algorithms, with its run parameters.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// Static PageRank for a fixed number of iterations (paper: 10).
+    PageRank {
+        /// Number of supersteps.
+        iterations: u64,
+    },
+    /// Connected components to fixpoint, capped (paper: 10 iterations).
+    ConnectedComponents {
+        /// Superstep cap.
+        max_iterations: u64,
+    },
+    /// Triangle counting (canonicalizes the graph first, as GraphX
+    /// requires).
+    Triangles,
+    /// Shortest paths to `num_landmarks` pseudo-random landmark vertices.
+    Sssp {
+        /// Number of landmark vertices (paper: 5).
+        num_landmarks: usize,
+        /// Landmark selection seed (the paper averages over 5 choices).
+        seed: u64,
+        /// Superstep cap; road networks exhaust memory long before
+        /// converging, as in the paper.
+        max_iterations: u64,
+    },
+    /// HITS hubs/authorities (extension: PageRank-like comm profile with a
+    /// two-field state).
+    Hits {
+        /// Number of supersteps.
+        iterations: u64,
+    },
+    /// Synchronous label propagation (extension: label-histogram messages,
+    /// between PR and TR on the state-size spectrum).
+    LabelPropagation {
+        /// Number of supersteps.
+        iterations: u64,
+    },
+    /// K-core by iterated h-index (extension: degree-sized messages, the
+    /// closest Pregel analogue of Triangle Count's cost profile).
+    KCore {
+        /// Number of supersteps (tens suffice for convergence).
+        iterations: u64,
+    },
+}
+
+impl Algorithm {
+    /// The paper's default parameterisations of the four algorithms.
+    pub fn paper_suite(seed: u64) -> Vec<Algorithm> {
+        vec![
+            Algorithm::PageRank { iterations: 10 },
+            Algorithm::ConnectedComponents { max_iterations: 10 },
+            Algorithm::Triangles,
+            Algorithm::Sssp {
+                num_landmarks: 5,
+                seed,
+                max_iterations: 10_000,
+            },
+        ]
+    }
+
+    /// The extension algorithms beyond the paper's four, parameterised as
+    /// the ablation benchmarks run them.
+    pub fn extension_suite() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Hits { iterations: 10 },
+            Algorithm::LabelPropagation { iterations: 8 },
+            Algorithm::KCore { iterations: 30 },
+        ]
+    }
+
+    /// A cheap probe variant of this algorithm: a couple of supersteps,
+    /// enough to expose the per-superstep cost profile of a partitioning
+    /// without paying for the full run. Used by the advisor's simulated
+    /// mode to rank candidate partitioners by *predicted time*.
+    pub fn probe(&self) -> Algorithm {
+        match self {
+            Algorithm::PageRank { .. } => Algorithm::PageRank { iterations: 2 },
+            Algorithm::ConnectedComponents { .. } => {
+                Algorithm::ConnectedComponents { max_iterations: 3 }
+            }
+            // TR's cost is concentrated in its fixed four phases; the probe
+            // is the job itself (callers should prefer the metric mode when
+            // that is too expensive).
+            Algorithm::Triangles => Algorithm::Triangles,
+            Algorithm::Sssp {
+                num_landmarks,
+                seed,
+                ..
+            } => Algorithm::Sssp {
+                num_landmarks: *num_landmarks,
+                seed: *seed,
+                max_iterations: 3,
+            },
+            Algorithm::Hits { .. } => Algorithm::Hits { iterations: 2 },
+            Algorithm::LabelPropagation { .. } => {
+                Algorithm::LabelPropagation { iterations: 2 }
+            }
+            Algorithm::KCore { .. } => Algorithm::KCore { iterations: 3 },
+        }
+    }
+
+    /// Display abbreviation as used in the paper (PR, CC, TR, SSSP).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Algorithm::PageRank { .. } => "PR",
+            Algorithm::ConnectedComponents { .. } => "CC",
+            Algorithm::Triangles => "TR",
+            Algorithm::Sssp { .. } => "SSSP",
+            Algorithm::Hits { .. } => "HITS",
+            Algorithm::LabelPropagation { .. } => "LPA",
+            Algorithm::KCore { .. } => "KCORE",
+        }
+    }
+
+    /// Complexity class per the paper's taxonomy. The extensions are
+    /// classified by their per-vertex message payload: HITS ships fixed-size
+    /// scores (edge-bound, like PR); LPA ships label histograms and k-core
+    /// ships degree-sized estimate vectors (vertex-state-bound, like TR).
+    pub fn class(&self) -> AlgorithmClass {
+        match self {
+            Algorithm::Triangles
+            | Algorithm::LabelPropagation { .. }
+            | Algorithm::KCore { .. } => AlgorithmClass::VertexStateBound,
+            _ => AlgorithmClass::EdgeBound,
+        }
+    }
+
+    /// Partitions `graph` with `partitioner` into `num_parts` and runs the
+    /// algorithm on the simulated `cluster`.
+    ///
+    /// Returns both the simulated timing and the partitioning metrics of
+    /// the *partitioning actually executed* (for TR that is the canonical
+    /// graph's partitioning) so callers can correlate time against metrics
+    /// exactly as the paper does.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        partitioner: &dyn Partitioner,
+        num_parts: PartId,
+        cluster: &ClusterConfig,
+        executor: ExecutorMode,
+    ) -> Result<RunOutcome, SimError> {
+        let opts = PregelConfig {
+            executor,
+            ..Default::default()
+        };
+        match self {
+            Algorithm::PageRank { iterations } => {
+                let pg = partitioner.partition(graph, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = pagerank(&pg, cluster, *iterations, &opts)?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+            Algorithm::ConnectedComponents { max_iterations } => {
+                let pg = partitioner.partition(graph, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = connected_components(&pg, cluster, *max_iterations, &opts)?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+            Algorithm::Triangles => {
+                let canon = canonicalize(graph);
+                let pg = partitioner.partition(&canon, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = triangle_count_partitioned(&pg, cluster, true)?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, 4, metrics))
+            }
+            Algorithm::Sssp {
+                num_landmarks,
+                seed,
+                max_iterations,
+            } => {
+                let pg = partitioner.partition(graph, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let landmarks =
+                    Sssp::pick_landmarks(graph.num_vertices(), *num_landmarks, *seed);
+                let r = sssp(&pg, cluster, landmarks, *max_iterations, &opts)?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+            Algorithm::Hits { iterations } => {
+                let pg = partitioner.partition(graph, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = crate::hits::hits(&pg, cluster, *iterations, &opts)?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+            Algorithm::LabelPropagation { iterations } => {
+                let pg = partitioner.partition(graph, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = crate::label_propagation::label_propagation(
+                    &pg, cluster, *iterations, &opts,
+                )?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+            Algorithm::KCore { iterations } => {
+                // Like TR, k-core runs on the canonical graph.
+                let canon = canonicalize(graph);
+                let pg = partitioner.partition(&canon, num_parts);
+                let metrics = PartitionMetrics::of(&pg);
+                let r = cutfit_engine::run_pregel(
+                    &crate::kcore::KCore,
+                    &pg,
+                    cluster,
+                    &PregelConfig {
+                        max_iterations: *iterations,
+                        ..opts.clone()
+                    },
+                )?;
+                Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
+            }
+        }
+    }
+}
+
+/// Result of one (algorithm, dataset, partitioner, N) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Algorithm abbreviation.
+    pub algorithm: &'static str,
+    /// Simulated-cluster accounting; `sim.total_seconds` is the paper's
+    /// "execution time".
+    pub sim: SimReport,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Metrics of the executed partitioning.
+    pub metrics: PartitionMetrics,
+}
+
+impl RunOutcome {
+    fn new(
+        algorithm: &'static str,
+        sim: SimReport,
+        supersteps: u64,
+        metrics: PartitionMetrics,
+    ) -> Self {
+        Self {
+            algorithm,
+            sim,
+            supersteps,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutfit_partition::GraphXStrategy;
+
+    #[test]
+    fn paper_suite_has_four() {
+        let suite = Algorithm::paper_suite(1);
+        let names: Vec<&str> = suite.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(names, vec!["PR", "CC", "TR", "SSSP"]);
+    }
+
+    #[test]
+    fn classes_follow_the_paper() {
+        assert_eq!(
+            Algorithm::Triangles.class(),
+            AlgorithmClass::VertexStateBound
+        );
+        assert_eq!(
+            Algorithm::PageRank { iterations: 10 }.class(),
+            AlgorithmClass::EdgeBound
+        );
+    }
+
+    #[test]
+    fn run_returns_time_and_metrics_for_all_four() {
+        let g = cutfit_datagen::rmat(
+            &cutfit_datagen::RmatConfig {
+                scale: 8,
+                edges: 2048,
+                ..Default::default()
+            },
+            3,
+        );
+        for algo in Algorithm::paper_suite(7) {
+            let out = algo
+                .run(
+                    &g,
+                    &GraphXStrategy::EdgePartition2D,
+                    8,
+                    &ClusterConfig::paper_cluster(),
+                    ExecutorMode::Sequential,
+                )
+                .unwrap();
+            assert!(out.sim.total_seconds > 0.0, "{}", out.algorithm);
+            assert!(out.metrics.edges > 0, "{}", out.algorithm);
+            assert!(out.supersteps > 0, "{}", out.algorithm);
+        }
+    }
+
+    #[test]
+    fn triangles_metrics_are_canonical() {
+        // On a symmetric graph, canonicalization halves the edge count.
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 4).symmetrized();
+        let pr = Algorithm::PageRank { iterations: 2 }
+            .run(
+                &g,
+                &GraphXStrategy::RandomVertexCut,
+                4,
+                &ClusterConfig::paper_cluster(),
+                ExecutorMode::Sequential,
+            )
+            .unwrap();
+        let tr = Algorithm::Triangles
+            .run(
+                &g,
+                &GraphXStrategy::RandomVertexCut,
+                4,
+                &ClusterConfig::paper_cluster(),
+                ExecutorMode::Sequential,
+            )
+            .unwrap();
+        assert!(tr.metrics.edges < pr.metrics.edges);
+    }
+}

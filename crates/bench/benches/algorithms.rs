@@ -1,0 +1,34 @@
+//! Micro-benchmarks: end-to-end runs of the paper's four algorithms on one
+//! mid-size dataset and one partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutfit_core::prelude::*;
+
+fn bench_suite(c: &mut Criterion) {
+    let graph = cutfit_core::datagen::DatasetProfile::youtube().generate(0.01, 5);
+    let cluster = ClusterConfig::paper_cluster();
+    let mut group = c.benchmark_group("algorithm_suite_youtube");
+    group.sample_size(10);
+    for algorithm in Algorithm::paper_suite(9) {
+        group.bench_with_input(
+            BenchmarkId::new(algorithm.abbrev(), 64),
+            &algorithm,
+            |b, algo| {
+                b.iter(|| {
+                    algo.run(
+                        &graph,
+                        &GraphXStrategy::EdgePartition2D,
+                        64,
+                        &cluster,
+                        ExecutorMode::Sequential,
+                    )
+                    .expect("fits in memory")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

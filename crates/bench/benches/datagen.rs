@@ -1,0 +1,20 @@
+//! Micro-benchmarks: generator throughput for every dataset profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutfit_core::prelude::*;
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_generation");
+    group.sample_size(10);
+    for profile in DatasetProfile::all() {
+        group.bench_with_input(
+            BenchmarkId::new(profile.name, "scale=0.002"),
+            &profile,
+            |b, p| b.iter(|| p.generate(0.002, 11)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

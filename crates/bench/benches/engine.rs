@@ -1,0 +1,42 @@
+//! Micro-benchmarks: Pregel superstep throughput, sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_core::prelude::*;
+
+fn bench_pagerank_supersteps(c: &mut Criterion) {
+    let graph = cutfit_core::datagen::DatasetProfile::pocek().generate(0.005, 3);
+    let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 64);
+    let cluster = ClusterConfig::paper_cluster();
+    let mut group = c.benchmark_group("pagerank_2_iterations");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() * 2));
+    for threads in [1usize, 4] {
+        let executor = if threads == 1 {
+            ExecutorMode::Sequential
+        } else {
+            ExecutorMode::Parallel { threads }
+        };
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &executor,
+            |b, &executor| {
+                b.iter(|| {
+                    cutfit_core::algorithms::pagerank(
+                        &pg,
+                        &cluster,
+                        2,
+                        &PregelConfig {
+                            executor,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("fits in memory")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank_supersteps);
+criterion_main!(benches);

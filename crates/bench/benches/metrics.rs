@@ -1,0 +1,36 @@
+//! Micro-benchmarks: partitioning-metric computation (Tables 2–3 cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutfit_core::prelude::*;
+
+fn bench_metrics(c: &mut Criterion) {
+    let graph = cutfit_core::datagen::DatasetProfile::pocek().generate(0.005, 1);
+    let mut group = c.benchmark_group("partition_metrics");
+    group.sample_size(10);
+    for strategy in [
+        GraphXStrategy::RandomVertexCut,
+        GraphXStrategy::EdgePartition2D,
+        GraphXStrategy::DestinationCut,
+    ] {
+        let pg = strategy.partition(&graph, 128);
+        group.bench_with_input(
+            BenchmarkId::new(strategy.abbrev(), 128),
+            &pg,
+            |b, pg| b.iter(|| PartitionMetrics::of(pg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let graph = cutfit_core::datagen::DatasetProfile::youtube().generate(0.005, 1);
+    let mut group = c.benchmark_group("table1_characterization");
+    group.sample_size(10);
+    group.bench_function("characterize_youtube", |b| {
+        b.iter(|| cutfit_core::graph::analysis::characterize(&graph, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_characterize);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks: edge-assignment throughput of every partitioning
+//! strategy (the paper's six hash strategies + the streaming baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_core::partition::all_partitioners;
+use cutfit_core::prelude::*;
+
+fn skewed_graph() -> Graph {
+    cutfit_core::datagen::rmat(
+        &cutfit_core::datagen::RmatConfig {
+            scale: 14,
+            edges: 1 << 17,
+            ..Default::default()
+        },
+        7,
+    )
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let graph = skewed_graph();
+    let mut group = c.benchmark_group("assign_edges");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    for partitioner in all_partitioners() {
+        group.bench_with_input(
+            BenchmarkId::new(partitioner.name(), 128),
+            &graph,
+            |b, g| b.iter(|| partitioner.assign_edges(g, 128)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_build(c: &mut Criterion) {
+    let graph = skewed_graph();
+    let mut group = c.benchmark_group("partitioned_graph_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    for np in [16u32, 128, 256] {
+        let assignment = GraphXStrategy::EdgePartition2D.assign_edges(&graph, np);
+        group.bench_with_input(BenchmarkId::new("2D", np), &np, |b, &np| {
+            b.iter(|| PartitionedGraph::build(&graph, &assignment, np))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assign, bench_partition_build);
+criterion_main!(benches);

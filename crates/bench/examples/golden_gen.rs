@@ -1,0 +1,14 @@
+//! One-off generator for the constants in `tests/golden_determinism.rs`.
+use cutfit_core::prelude::*;
+use cutfit_core::util::hash::hash_pair;
+
+fn main() {
+    let g = DatasetProfile::pocek().generate(0.002, 42);
+    let mut acc = 0u64;
+    for strategy in GraphXStrategy::all() {
+        for (i, p) in strategy.assign_edges(&g, 128).into_iter().enumerate() {
+            acc = acc.rotate_left(7).wrapping_add(hash_pair(i as u64, p as u64));
+        }
+    }
+    println!("{acc:#x}");
+}

@@ -1,0 +1,46 @@
+//! Experiment E2 — Figure 1: in-degree and out-degree distributions.
+//!
+//! Prints, per dataset, the log-binned (base-2) in- and out-degree
+//! histograms: the `(bucket_low, count)` series a log–log plot of Figure 1
+//! is drawn from, plus the zero-degree bucket the paper discusses as "leaf"
+//! vertices.
+
+use cutfit_bench::runner::{emit, BenchArgs};
+use cutfit_core::graph::analysis::DegreeStats;
+use cutfit_core::stats::LogHistogram;
+use cutfit_core::util::table::{Align, AsciiTable};
+
+fn main() {
+    let args = BenchArgs::parse(
+        "fig1_degrees",
+        "in/out-degree distributions (paper Figure 1)",
+        0.01,
+        &[],
+    );
+    args.banner("Figure 1: degree distributions (log2-binned)");
+
+    for profile in args.profiles() {
+        let graph = profile.generate(args.scale, args.seed);
+        let stats = DegreeStats::of(&graph);
+        let mut hist_in = LogHistogram::base2();
+        let mut hist_out = LogHistogram::base2();
+        hist_in.extend(stats.in_degrees.iter().map(|&d| d as u64));
+        hist_out.extend(stats.out_degrees.iter().map(|&d| d as u64));
+
+        if !args.csv {
+            println!(
+                "--- {} (max in-degree {}, max out-degree {}) ---",
+                profile.name, stats.max_in_degree, stats.max_out_degree
+            );
+        }
+        let mut t = AsciiTable::new(["direction", "degree>=", "degree<", "vertices"])
+            .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+        for (lo, hi, count) in hist_in.series() {
+            t.row(["in".to_string(), lo.to_string(), hi.to_string(), count.to_string()]);
+        }
+        for (lo, hi, count) in hist_out.series() {
+            t.row(["out".to_string(), lo.to_string(), hi.to_string(), count.to_string()]);
+        }
+        emit(&t, args.csv);
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment E6 — Figure 3: correlation between execution time and
+//! Communication Cost for PageRank (10 iterations), configurations
+//! (i) = 128 and (ii) = 256 partitions.
+//!
+//! Paper findings to compare against: CommCost correlation 95 % / 96 %;
+//! finer partitioning *increases* PR time; best strategy is DC on small
+//! datasets and 2D on large ones.
+
+use cutfit_bench::figure::{run_figure, FigureSpec};
+use cutfit_core::prelude::*;
+
+fn main() {
+    run_figure(&FigureSpec {
+        bin: "fig3_pagerank",
+        title: "Figure 3: PageRank time vs Communication Cost",
+        headline_metric: MetricKind::CommCost,
+        default_scale: 0.01,
+        scale_memory: false,
+        repeats: 1,
+        algorithm: |_seed| Algorithm::PageRank { iterations: 10 },
+    });
+}

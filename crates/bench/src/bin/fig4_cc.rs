@@ -1,0 +1,21 @@
+//! Experiment E7 — Figure 4: correlation between execution time and
+//! Communication Cost for Connected Components (10 iterations).
+//!
+//! Paper findings to compare against: CommCost correlation 92 % / 94 %;
+//! fine granularity (256) wins on all but the smallest datasets (up to
+//! 22 % faster) because converged vertices stop costing.
+
+use cutfit_bench::figure::{run_figure, FigureSpec};
+use cutfit_core::prelude::*;
+
+fn main() {
+    run_figure(&FigureSpec {
+        bin: "fig4_cc",
+        title: "Figure 4: Connected Components time vs Communication Cost",
+        headline_metric: MetricKind::CommCost,
+        default_scale: 0.01,
+        scale_memory: false,
+        repeats: 1,
+        algorithm: |_seed| Algorithm::ConnectedComponents { max_iterations: 10 },
+    });
+}

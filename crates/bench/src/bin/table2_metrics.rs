@@ -1,0 +1,10 @@
+//! Experiment E4 — Table 2: partitioning metrics for all six strategies
+//! over all datasets at 128 partitions.
+
+fn main() {
+    cutfit_bench::metrics_table::run(
+        "table2_metrics",
+        "partitioning metrics (paper Table 2)",
+        &[128],
+    );
+}

@@ -1,0 +1,10 @@
+//! Experiment E5 — Table 3: partitioning metrics at 256 partitions.
+//! Identical to `table2_metrics` with the paper's finer granularity.
+
+fn main() {
+    cutfit_bench::metrics_table::run(
+        "table3_metrics",
+        "partitioning metrics (paper Table 3)",
+        &[256],
+    );
+}

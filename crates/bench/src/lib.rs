@@ -1,0 +1,12 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper;
+//! this library provides their common command-line handling and report
+//! formatting. Run any binary with `--help` for its options; all accept
+//! `--scale`, `--seed`, `--parts`, `--datasets`, `--threads`, and `--csv`.
+
+pub mod figure;
+pub mod metrics_table;
+pub mod runner;
+
+pub use runner::BenchArgs;

@@ -1,0 +1,188 @@
+//! Per-superstep traffic and work accounting.
+//!
+//! The engine records *what it did* — how many edges it scanned in each
+//! partition, how many vertex programs it ran, how many message bytes it
+//! moved between which partitions — and the ledger aggregates those
+//! quantities per partition and per executor pair so the simulator can bill
+//! them under a cost model.
+
+/// Work performed inside a single partition during one superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartWork {
+    /// Edge triplets scanned (message generation).
+    pub edge_scans: u64,
+    /// Vertex-program applications / per-vertex reductions.
+    pub vertex_ops: u64,
+    /// Bytes of state processed locally (serialization, set unions, …).
+    pub local_bytes: u64,
+}
+
+/// All work of one superstep, aggregated by partition and executor pair.
+#[derive(Debug, Clone)]
+pub struct SuperstepLedger {
+    parts: Vec<PartWork>,
+    executors: u32,
+    /// Row-major `executors × executors` byte matrix; `[from][to]`.
+    exec_bytes: Vec<u64>,
+    /// Message counts, same layout.
+    exec_msgs: Vec<u64>,
+}
+
+impl SuperstepLedger {
+    /// Creates an empty ledger for `num_parts` partitions on `executors`
+    /// executors, with `executor_of` mapping partitions to executors.
+    pub fn new(num_parts: u32, executors: u32) -> Self {
+        Self {
+            parts: vec![PartWork::default(); num_parts as usize],
+            executors,
+            exec_bytes: vec![0; (executors * executors) as usize],
+            exec_msgs: vec![0; (executors * executors) as usize],
+        }
+    }
+
+    /// Clears all counters for the next superstep.
+    pub fn reset(&mut self) {
+        self.parts.fill(PartWork::default());
+        self.exec_bytes.fill(0);
+        self.exec_msgs.fill(0);
+    }
+
+    /// Records `n` edge scans in `part`.
+    #[inline]
+    pub fn edge_scans(&mut self, part: u32, n: u64) {
+        self.parts[part as usize].edge_scans += n;
+    }
+
+    /// Records `n` vertex operations in `part`.
+    #[inline]
+    pub fn vertex_ops(&mut self, part: u32, n: u64) {
+        self.parts[part as usize].vertex_ops += n;
+    }
+
+    /// Records `bytes` of local state processing in `part`.
+    #[inline]
+    pub fn local_bytes(&mut self, part: u32, bytes: u64) {
+        self.parts[part as usize].local_bytes += bytes;
+    }
+
+    /// Records a message batch of `msgs` records / `bytes` payload flowing
+    /// from executor `from_exec` to executor `to_exec` (possibly the same).
+    #[inline]
+    pub fn send_exec(&mut self, from_exec: u32, to_exec: u32, msgs: u64, bytes: u64) {
+        let idx = (from_exec * self.executors + to_exec) as usize;
+        self.exec_bytes[idx] += bytes;
+        self.exec_msgs[idx] += msgs;
+    }
+
+    /// Per-partition work records.
+    pub fn part_work(&self) -> &[PartWork] {
+        &self.parts
+    }
+
+    /// Bytes sent from `from` to `to` (executor indices).
+    pub fn bytes_between(&self, from: u32, to: u32) -> u64 {
+        self.exec_bytes[(from * self.executors + to) as usize]
+    }
+
+    /// Total message records this superstep.
+    pub fn total_messages(&self) -> u64 {
+        self.exec_msgs.iter().sum()
+    }
+
+    /// Total bytes crossing executor boundaries.
+    pub fn remote_bytes(&self) -> u64 {
+        let e = self.executors;
+        let mut sum = 0;
+        for from in 0..e {
+            for to in 0..e {
+                if from != to {
+                    sum += self.exec_bytes[(from * e + to) as usize];
+                }
+            }
+        }
+        sum
+    }
+
+    /// Total bytes staying within an executor.
+    pub fn local_shuffle_bytes(&self) -> u64 {
+        (0..self.executors)
+            .map(|x| self.exec_bytes[(x * self.executors + x) as usize])
+            .sum()
+    }
+
+    /// Outgoing remote bytes per executor.
+    pub fn out_bytes_per_exec(&self) -> Vec<u64> {
+        let e = self.executors;
+        (0..e)
+            .map(|from| {
+                (0..e)
+                    .filter(|&to| to != from)
+                    .map(|to| self.exec_bytes[(from * e + to) as usize])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Incoming remote bytes per executor.
+    pub fn in_bytes_per_exec(&self) -> Vec<u64> {
+        let e = self.executors;
+        (0..e)
+            .map(|to| {
+                (0..e)
+                    .filter(|&from| from != to)
+                    .map(|from| self.exec_bytes[(from * e + to) as usize])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// True when nothing was recorded this superstep.
+    pub fn is_empty(&self) -> bool {
+        self.total_messages() == 0
+            && self
+                .parts
+                .iter()
+                .all(|w| w.edge_scans == 0 && w.vertex_ops == 0 && w.local_bytes == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_resets() {
+        let mut l = SuperstepLedger::new(4, 2);
+        l.edge_scans(0, 10);
+        l.vertex_ops(1, 5);
+        l.local_bytes(2, 100);
+        assert_eq!(l.part_work()[0].edge_scans, 10);
+        assert_eq!(l.part_work()[1].vertex_ops, 5);
+        assert_eq!(l.part_work()[2].local_bytes, 100);
+        assert!(!l.is_empty());
+        l.reset();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remote_vs_local_bytes() {
+        let mut l = SuperstepLedger::new(4, 2);
+        l.send_exec(0, 0, 1, 100); // local
+        l.send_exec(0, 1, 2, 200); // remote
+        l.send_exec(1, 0, 1, 50); // remote
+        assert_eq!(l.remote_bytes(), 250);
+        assert_eq!(l.local_shuffle_bytes(), 100);
+        assert_eq!(l.total_messages(), 4);
+        assert_eq!(l.bytes_between(0, 1), 200);
+    }
+
+    #[test]
+    fn per_exec_in_out() {
+        let mut l = SuperstepLedger::new(4, 3);
+        l.send_exec(0, 1, 1, 10);
+        l.send_exec(0, 2, 1, 20);
+        l.send_exec(2, 0, 1, 5);
+        assert_eq!(l.out_bytes_per_exec(), vec![30, 0, 5]);
+        assert_eq!(l.in_bytes_per_exec(), vec![5, 10, 20]);
+    }
+}

@@ -1,0 +1,32 @@
+//! A simulated Spark-like cluster: topology, cost model, traffic ledger, and
+//! simulated clock.
+//!
+//! The paper ran on a real 5-node cluster (1 driver + 4 executors × 32
+//! cores, 1 Gbps or 40 Gbps Ethernet, HDFS-on-HDD or local SSD). This crate
+//! is the substitution for that hardware: the Pregel engine *meters* the
+//! work it actually performs — edge scans, vertex-program applications,
+//! bytes shipped between partitions — into a [`ClusterSim`], which converts
+//! the metered quantities into simulated seconds under a [`ClusterConfig`]
+//! cost model.
+//!
+//! Key properties preserved from the real system:
+//!
+//! * partitions map round-robin onto executors; only bytes crossing an
+//!   executor boundary pay network cost, so the partitioner determines the
+//!   communication bill exactly as in GraphX;
+//! * per-superstep scheduling overhead and message framing match Spark's
+//!   coarse task-dispatch granularity;
+//! * shuffle data optionally flows through storage (Spark writes shuffle
+//!   files), making the HDD→SSD upgrade of the paper's config (iv) visible;
+//! * un-checkpointed iterative jobs retain shuffle lineage, so long-running
+//!   computations (SSSP on huge-diameter road networks) exhaust executor
+//!   memory — reproducing the paper's "Spark did not complete SSSP due to
+//!   out of memory errors" on the grid datasets.
+
+pub mod config;
+pub mod ledger;
+pub mod sim;
+
+pub use config::{ClusterConfig, ComputeCostModel, Storage};
+pub use ledger::SuperstepLedger;
+pub use sim::{ClusterSim, SimError, SimReport};

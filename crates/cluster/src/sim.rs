@@ -1,0 +1,443 @@
+//! The simulated clock: converts metered work into seconds, tracks memory,
+//! and raises out-of-memory exactly where the real system would.
+
+use crate::config::ClusterConfig;
+use crate::ledger::SuperstepLedger;
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An executor exceeded its memory budget — the fate of the paper's
+    /// SSSP runs on the road networks.
+    OutOfMemory {
+        /// The executor that blew up.
+        executor: u32,
+        /// Superstep at which it happened.
+        superstep: u64,
+        /// Memory demand at failure, GB.
+        required_gb: f64,
+        /// Configured capacity, GB.
+        capacity_gb: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                executor,
+                superstep,
+                required_gb,
+                capacity_gb,
+            } => write!(
+                f,
+                "executor {executor} out of memory at superstep {superstep}: \
+                 {required_gb:.2} GB required, {capacity_gb:.2} GB available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Cumulative results of a simulated run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// Total simulated wall time, seconds.
+    pub total_seconds: f64,
+    /// Time spent computing (max over executors per superstep, summed).
+    pub compute_seconds: f64,
+    /// Time spent on the network.
+    pub network_seconds: f64,
+    /// Time spent reading/writing storage (load + shuffle spill).
+    pub storage_seconds: f64,
+    /// Scheduling/barrier overhead.
+    pub overhead_seconds: f64,
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+    /// Total message records shipped.
+    pub messages: u64,
+    /// Bytes that crossed executor boundaries.
+    pub remote_bytes: u64,
+    /// Shuffle bytes that stayed executor-local.
+    pub local_shuffle_bytes: u64,
+    /// Peak per-executor memory demand observed, GB.
+    pub peak_executor_memory_gb: f64,
+}
+
+/// A running simulation: owns the ledger, the clock, and memory accounting.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+    num_parts: u32,
+    ledger: SuperstepLedger,
+    report: SimReport,
+    /// Raw resident bytes per executor (graph structure + vertex state).
+    resident_bytes: Vec<u64>,
+    /// Bytes of retained shuffle lineage per executor.
+    retained_bytes: Vec<f64>,
+}
+
+impl ClusterSim {
+    /// Creates a simulation for `num_parts` partitions on `config`.
+    pub fn new(config: ClusterConfig, num_parts: u32) -> Self {
+        let executors = config.executors;
+        Self {
+            ledger: SuperstepLedger::new(num_parts, executors),
+            resident_bytes: vec![0; executors as usize],
+            retained_bytes: vec![0.0; executors as usize],
+            report: SimReport::default(),
+            num_parts,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of partitions this simulation was created for.
+    pub fn num_parts(&self) -> u32 {
+        self.num_parts
+    }
+
+    /// Mutable access to the current superstep's ledger.
+    pub fn ledger(&mut self) -> &mut SuperstepLedger {
+        &mut self.ledger
+    }
+
+    /// Declares `bytes` of raw resident data (edges + vertex state) hosted
+    /// by `part`. Resident data persists across supersteps; call again to
+    /// update when state sizes change.
+    pub fn set_resident(&mut self, part: u32, bytes: u64) {
+        // Residency is tracked per executor; caller provides per-partition
+        // totals, so we have to rebuild — keep it simple: accumulate deltas.
+        let exec = self.config.executor_of(part) as usize;
+        self.resident_bytes[exec] += bytes;
+    }
+
+    /// Clears all residency (e.g. before re-declaring updated state sizes).
+    pub fn clear_resident(&mut self) {
+        self.resident_bytes.fill(0);
+    }
+
+    /// Charges the initial dataset load from storage: `total_bytes` read in
+    /// parallel by all executors.
+    pub fn charge_load(&mut self, total_bytes: u64) {
+        let per_exec = total_bytes as f64 / self.config.executors as f64;
+        let secs = per_exec / (self.config.storage.read_mbps() * 1e6);
+        self.report.storage_seconds += secs;
+        self.report.total_seconds += secs;
+    }
+
+    /// Closes the current superstep: converts the ledger into time, applies
+    /// memory accounting, resets the ledger. Returns the superstep's
+    /// simulated duration.
+    pub fn end_superstep(&mut self) -> Result<f64, SimError> {
+        let cfg = &self.config;
+        let cost = &cfg.cost;
+
+        // --- Compute: per-partition task times, LPT-style per executor. ---
+        let mut exec_work = vec![0.0f64; cfg.executors as usize];
+        let mut exec_max_task = vec![0.0f64; cfg.executors as usize];
+        for (p, w) in self.ledger.part_work().iter().enumerate() {
+            let task_ns = w.edge_scans as f64 * cost.per_edge_ns
+                + w.vertex_ops as f64 * cost.per_vertex_ns
+                + w.local_bytes as f64 * cost.per_byte_ns;
+            let exec = cfg.executor_of(p as u32) as usize;
+            exec_work[exec] += task_ns;
+            exec_max_task[exec] = exec_max_task[exec].max(task_ns);
+        }
+        let compute_secs = exec_work
+            .iter()
+            .zip(&exec_max_task)
+            .map(|(&total, &max_task)| {
+                // Tasks parallelise across cores but a superstep cannot end
+                // before its longest task (stragglers).
+                (total / cfg.cores_per_executor as f64).max(max_task) * 1e-9
+            })
+            .fold(0.0f64, f64::max);
+
+        // --- Network: per-executor in/out volumes at NIC bandwidth. ---
+        let out_bytes = self.ledger.out_bytes_per_exec();
+        let in_bytes = self.ledger.in_bytes_per_exec();
+        let worst_link_bytes = out_bytes
+            .iter()
+            .zip(&in_bytes)
+            .map(|(&o, &i)| o.max(i))
+            .max()
+            .unwrap_or(0);
+        let mut network_secs = worst_link_bytes as f64
+            / cost.network_compression_ratio.max(1.0)
+            / cfg.network_bytes_per_sec();
+        if self.ledger.remote_bytes() > 0 {
+            network_secs += cfg.network_latency_ms * 1e-3;
+        }
+
+        // --- Serialization: CPU-side encode/decode of shuffled bytes,
+        //     parallelised over cores; unaffected by NIC speed. ---
+        let shuffle_bytes =
+            self.ledger.remote_bytes() + self.ledger.local_shuffle_bytes();
+        let ser_secs = (shuffle_bytes as f64 / cfg.executors as f64) * cost.ser_ns_per_byte
+            * 1e-9
+            / cfg.cores_per_executor as f64;
+        let compute_secs = compute_secs + ser_secs;
+
+        // --- Storage: the synchronous share of shuffle spill (write then
+        //     read); the rest rides the page cache. ---
+        let storage_secs = if cost.shuffle_through_storage && shuffle_bytes > 0 {
+            let per_exec = shuffle_bytes as f64 * cost.shuffle_storage_fraction
+                / cfg.executors as f64;
+            per_exec / (cfg.storage.write_mbps() * 1e6)
+                + per_exec / (cfg.storage.read_mbps() * 1e6)
+        } else {
+            0.0
+        };
+
+        let overhead_secs = cost.superstep_overhead_ms * 1e-3;
+        let superstep_secs = compute_secs + network_secs + storage_secs + overhead_secs;
+
+        // --- Memory accounting. ---
+        self.report.supersteps += 1;
+        let shuffle_per_exec = shuffle_bytes as f64 / cfg.executors as f64;
+        let capacity_gb = cfg.executor_memory_gb * cfg.usable_memory_fraction;
+        let lineage_fixed =
+            cfg.executor_memory_gb * 1e9 * cost.lineage_heap_fraction_per_superstep;
+        let mut oom: Option<SimError> = None;
+        for exec in 0..cfg.executors as usize {
+            // Lineage growth: the in-memory share of retained shuffle data,
+            // optional vertex-RDD snapshots, and the fixed per-superstep
+            // bookkeeping that accumulates until job end.
+            self.retained_bytes[exec] += shuffle_per_exec * cost.lineage_retention
+                + self.resident_bytes[exec] as f64 * cost.state_snapshot_retention
+                + lineage_fixed;
+            // JVM object overhead applies to live data structures; retained
+            // bookkeeping is counted at face value.
+            let demand_gb = (self.resident_bytes[exec] as f64 * cost.memory_overhead_factor
+                + self.retained_bytes[exec]
+                + shuffle_per_exec)
+                / 1e9;
+            self.report.peak_executor_memory_gb =
+                self.report.peak_executor_memory_gb.max(demand_gb);
+            if demand_gb > capacity_gb && oom.is_none() {
+                oom = Some(SimError::OutOfMemory {
+                    executor: exec as u32,
+                    superstep: self.report.supersteps,
+                    required_gb: demand_gb,
+                    capacity_gb,
+                });
+            }
+        }
+
+        self.report.compute_seconds += compute_secs;
+        self.report.network_seconds += network_secs;
+        self.report.storage_seconds += storage_secs;
+        self.report.overhead_seconds += overhead_secs;
+        self.report.total_seconds += superstep_secs;
+        self.report.messages += self.ledger.total_messages();
+        self.report.remote_bytes += self.ledger.remote_bytes();
+        self.report.local_shuffle_bytes += self.ledger.local_shuffle_bytes();
+        self.ledger.reset();
+
+        match oom {
+            Some(e) => Err(e),
+            None => Ok(superstep_secs),
+        }
+    }
+
+    /// Final report.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Consumes the sim, returning the report.
+    pub fn into_report(self) -> SimReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig {
+            executors: 2,
+            cores_per_executor: 4,
+            ..ClusterConfig::paper_cluster()
+        }
+    }
+
+    #[test]
+    fn empty_superstep_costs_only_overhead() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        let secs = sim.end_superstep().unwrap();
+        let expected = small_cluster().cost.superstep_overhead_ms * 1e-3;
+        assert!((secs - expected).abs() < 1e-12);
+        assert_eq!(sim.report().supersteps, 1);
+    }
+
+    #[test]
+    fn remote_bytes_cost_network_time() {
+        let cfg = small_cluster();
+        let mut sim = ClusterSim::new(cfg.clone(), 8);
+        sim.ledger().send_exec(0, 1, 1000, 125_000_000); // 1 wire-second at 1Gbps, pre-compression
+        let secs = sim.end_superstep().unwrap();
+        let expected_wire = 1.0 / cfg.cost.network_compression_ratio;
+        assert!(
+            sim.report().network_seconds >= expected_wire,
+            "network-bound superstep: {secs}"
+        );
+        assert!(secs > expected_wire);
+        assert_eq!(sim.report().remote_bytes, 125_000_000);
+    }
+
+    #[test]
+    fn local_bytes_do_not_cost_network_time() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        sim.ledger().send_exec(1, 1, 1000, 125_000_000);
+        sim.end_superstep().unwrap();
+        assert_eq!(sim.report().network_seconds, 0.0);
+        assert_eq!(sim.report().local_shuffle_bytes, 125_000_000);
+    }
+
+    #[test]
+    fn compute_respects_straggler_bound() {
+        let cfg = small_cluster(); // 4 cores
+        let mut sim = ClusterSim::new(cfg.clone(), 8);
+        // One giant task in partition 0: cannot parallelise.
+        let edges = 1_000_000_000u64;
+        sim.ledger().edge_scans(0, edges);
+        sim.end_superstep().unwrap();
+        let expected = edges as f64 * cfg.cost.per_edge_ns * 1e-9;
+        assert!(
+            (sim.report().compute_seconds - expected).abs() / expected < 1e-9,
+            "single task is not divisible"
+        );
+    }
+
+    #[test]
+    fn faster_network_is_faster() {
+        let mut slow = ClusterSim::new(ClusterConfig::config_ii(), 8);
+        let mut fast = ClusterSim::new(ClusterConfig::config_iii(), 8);
+        for sim in [&mut slow, &mut fast] {
+            sim.ledger().send_exec(0, 1, 1_000, 50_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert!(slow.report().network_seconds > fast.report().network_seconds * 10.0);
+    }
+
+    #[test]
+    fn ssd_beats_hdd_on_shuffle() {
+        let mut hdd = ClusterSim::new(ClusterConfig::config_iii(), 8);
+        let mut ssd = ClusterSim::new(ClusterConfig::config_iv(), 8);
+        for sim in [&mut hdd, &mut ssd] {
+            sim.ledger().send_exec(0, 1, 1_000, 50_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert!(hdd.report().storage_seconds > ssd.report().storage_seconds * 5.0);
+    }
+
+    #[test]
+    fn lineage_retention_triggers_oom() {
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 0.004; // 4 MB (~2.2 MB usable)
+        let mut sim = ClusterSim::new(cfg, 8);
+        let mut failed_at = None;
+        for step in 0..100 {
+            sim.ledger().send_exec(0, 1, 10, 100_000); // 100 KB retained per step
+            if sim.end_superstep().is_err() {
+                failed_at = Some(step);
+                break;
+            }
+        }
+        let step = failed_at.expect("must OOM eventually");
+        assert!(step > 2, "should survive a few supersteps, died at {step}");
+    }
+
+    #[test]
+    fn resident_memory_counts_with_overhead() {
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 0.001;
+        cfg.cost.memory_overhead_factor = 10.0;
+        let mut sim = ClusterSim::new(cfg, 8);
+        sim.set_resident(0, 200_000); // ×10 = 2 MB > 1 MB budget
+        assert!(sim.end_superstep().is_err());
+    }
+
+    #[test]
+    fn load_time_depends_on_storage() {
+        let mut hdd = ClusterSim::new(ClusterConfig::config_iii(), 8);
+        let mut ssd = ClusterSim::new(ClusterConfig::config_iv(), 8);
+        hdd.charge_load(1_000_000_000);
+        ssd.charge_load(1_000_000_000);
+        assert!(hdd.report().storage_seconds > ssd.report().storage_seconds * 5.0);
+    }
+
+    #[test]
+    fn serialization_cost_is_nic_independent() {
+        // The same shuffle volume must cost identical compute (ser) time on
+        // a 1 Gbps and a 40 Gbps cluster — only wire time may differ.
+        let mut slow = ClusterSim::new(ClusterConfig::config_ii(), 8);
+        let mut fast = ClusterSim::new(ClusterConfig::config_iii(), 8);
+        for sim in [&mut slow, &mut fast] {
+            sim.ledger().send_exec(0, 1, 1_000, 10_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert_eq!(
+            slow.report().compute_seconds,
+            fast.report().compute_seconds
+        );
+        assert!(slow.report().network_seconds > fast.report().network_seconds);
+    }
+
+    #[test]
+    fn compression_reduces_wire_time_not_ser_cost() {
+        let mut plain = ClusterConfig::paper_cluster();
+        plain.cost.network_compression_ratio = 1.0;
+        let compressed = ClusterConfig::paper_cluster(); // default 4x
+        let mut a = ClusterSim::new(plain, 8);
+        let mut b = ClusterSim::new(compressed, 8);
+        for sim in [&mut a, &mut b] {
+            sim.ledger().send_exec(0, 1, 100, 40_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert!(
+            a.report().network_seconds > 3.0 * b.report().network_seconds,
+            "4x compression ~ 4x less wire time"
+        );
+        assert_eq!(a.report().compute_seconds, b.report().compute_seconds);
+    }
+
+    #[test]
+    fn storage_fraction_scales_spill_cost() {
+        let mut all = ClusterConfig::paper_cluster();
+        all.cost.shuffle_storage_fraction = 1.0;
+        let mut some = ClusterConfig::paper_cluster();
+        some.cost.shuffle_storage_fraction = 0.1;
+        let mut a = ClusterSim::new(all, 8);
+        let mut b = ClusterSim::new(some, 8);
+        for sim in [&mut a, &mut b] {
+            sim.ledger().send_exec(0, 1, 100, 48_000_000);
+            sim.end_superstep().unwrap();
+        }
+        let ratio = a.report().storage_seconds / b.report().storage_seconds;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn report_accumulates_across_supersteps() {
+        let mut sim = ClusterSim::new(small_cluster(), 4);
+        for _ in 0..5 {
+            sim.ledger().send_exec(0, 1, 10, 1000);
+            sim.ledger().edge_scans(0, 100);
+            sim.end_superstep().unwrap();
+        }
+        let r = sim.report();
+        assert_eq!(r.supersteps, 5);
+        assert_eq!(r.messages, 50);
+        assert_eq!(r.remote_bytes, 5000);
+        assert!(r.total_seconds > 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Vertex relabelling utilities.
+//!
+//! The SC/DC partitioners proposed by the paper bet that vertex IDs encode
+//! locality ("assuming that vertex IDs may capture a metric of locality",
+//! §3). These helpers create or destroy that correlation on purpose:
+//! [`first_touch_relabel`] assigns IDs in discovery order (what a crawler
+//! produces), [`bfs_relabel`] in breadth-first order (strong locality), and
+//! [`shuffle_ids`] randomly (no locality) — the ablation benchmark compares
+//! partitioner behaviour across them.
+
+use cutfit_graph::{Edge, Graph, VertexId};
+use cutfit_util::Xoshiro256pp;
+
+/// Relabels edge endpoints in first-occurrence order; returns the relabelled
+/// edges and the number of distinct vertices. Untouched IDs disappear
+/// (compaction).
+pub fn first_touch_relabel(edges: &[Edge]) -> (Vec<Edge>, u64) {
+    let mut map = std::collections::HashMap::new();
+    let mut next: VertexId = 0;
+    let intern = |v: VertexId, map: &mut std::collections::HashMap<VertexId, VertexId>,
+                      next: &mut VertexId| {
+        *map.entry(v).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        })
+    };
+    let out = edges
+        .iter()
+        .map(|e| {
+            Edge::new(
+                intern(e.src, &mut map, &mut next),
+                intern(e.dst, &mut map, &mut next),
+            )
+        })
+        .collect();
+    (out, next)
+}
+
+/// Applies a random permutation to all vertex IDs (locality destroyed).
+pub fn shuffle_ids(graph: &Graph, seed: u64) -> Graph {
+    let n = graph.num_vertices();
+    let mut perm: Vec<VertexId> = (0..n).collect();
+    Xoshiro256pp::seed_from_u64(seed).shuffle(&mut perm);
+    let edges = graph
+        .edges()
+        .iter()
+        .map(|e| Edge::new(perm[e.src as usize], perm[e.dst as usize]))
+        .collect();
+    Graph::new_unchecked(n, edges)
+}
+
+/// Relabels vertices in BFS order over the undirected version of the graph,
+/// starting new traversals from the smallest unvisited ID. Maximises
+/// ID-adjacency locality.
+pub fn bfs_relabel(graph: &Graph) -> Graph {
+    let n = graph.num_vertices();
+    let und = cutfit_graph::Csr::undirected_simple_of(graph);
+    let mut order = vec![VertexId::MAX; n as usize];
+    let mut next: VertexId = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if order[start as usize] != VertexId::MAX {
+            continue;
+        }
+        order[start as usize] = next;
+        next += 1;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in und.neighbors(v) {
+                if order[w as usize] == VertexId::MAX {
+                    order[w as usize] = next;
+                    next += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let edges = graph
+        .edges()
+        .iter()
+        .map(|e| Edge::new(order[e.src as usize], order[e.dst as usize]))
+        .collect();
+    Graph::new_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_assigns_in_order() {
+        let edges = vec![Edge::new(100, 5), Edge::new(5, 42), Edge::new(100, 42)];
+        let (relabeled, n) = first_touch_relabel(&edges);
+        assert_eq!(n, 3);
+        assert_eq!(
+            relabeled,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]
+        );
+    }
+
+    #[test]
+    fn first_touch_empty() {
+        let (edges, n) = first_touch_relabel(&[]);
+        assert!(edges.is_empty());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = Graph::new(5, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)]);
+        let s = shuffle_ids(&g, 1);
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.num_edges(), 3);
+        // Degree multiset is invariant under relabelling.
+        let mut d1 = g.out_degrees();
+        let mut d2 = s.out_degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn bfs_relabel_is_permutation() {
+        let g = Graph::new(
+            6,
+            vec![Edge::new(5, 3), Edge::new(3, 1), Edge::new(0, 2)],
+        );
+        let b = bfs_relabel(&g);
+        assert_eq!(b.num_vertices(), 6);
+        assert_eq!(b.num_edges(), 3);
+        let mut ids: Vec<u64> = Vec::new();
+        for e in b.edges() {
+            ids.push(e.src);
+            ids.push(e.dst);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(ids.iter().all(|&v| v < 6));
+    }
+
+    #[test]
+    fn bfs_relabel_gives_adjacent_ids_to_neighbors() {
+        // Path 0-1-2-3-4 shuffled, then BFS-relabelled: neighbouring IDs
+        // should end up numerically close again.
+        let path = Graph::new(
+            5,
+            (0..4).map(|v| Edge::new(v, v + 1)).collect(),
+        )
+        .symmetrized();
+        let shuffled = shuffle_ids(&path, 9);
+        let relabeled = bfs_relabel(&shuffled);
+        let max_gap = relabeled
+            .edges()
+            .iter()
+            .map(|e| e.src.abs_diff(e.dst))
+            .max()
+            .unwrap();
+        assert!(max_gap <= 2, "BFS order keeps path IDs close, gap {max_gap}");
+    }
+}

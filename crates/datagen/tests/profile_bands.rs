@@ -1,0 +1,131 @@
+//! Structural-band tests: every dataset profile must keep its Table 1
+//! fingerprint across seeds and scales — this is the contract the
+//! experiment harness relies on.
+
+use cutfit_datagen::DatasetProfile;
+use cutfit_graph::analysis::{reciprocity, weakly_connected_components, DegreeStats};
+
+/// Structural bands per dataset: (symm, zero_in, zero_out) as fractions.
+fn bands(name: &str) -> ((f64, f64), (f64, f64), (f64, f64)) {
+    match name {
+        // Symmetric datasets: exact symmetry, no leaves.
+        "RoadNet-PA" | "RoadNet-TX" | "RoadNet-CA" | "YouTube" | "Orkut" => {
+            ((1.0, 1.0), (0.0, 0.0), (0.0, 0.0))
+        }
+        // Pocek: Symm 54.3, ZeroIn 6.9, ZeroOut 12.3 in Table 1.
+        "Pocek" => ((0.45, 0.68), (0.0, 0.12), (0.08, 0.18)),
+        // socLiveJournal: 75.0 / 7.4 / 11.1.
+        "socLiveJournal" => ((0.65, 0.85), (0.02, 0.15), (0.07, 0.16)),
+        // follow-jul: 37.6 / 46.9 / 25.7.
+        "follow-jul" => ((0.25, 0.50), (0.35, 0.60), (0.12, 0.35)),
+        // follow-dec: 37.6 / 55.1 / 18.3.
+        "follow-dec" => ((0.25, 0.50), (0.42, 0.68), (0.08, 0.30)),
+        other => panic!("unknown profile {other}"),
+    }
+}
+
+#[test]
+fn profiles_stay_in_their_structural_bands_across_seeds() {
+    for profile in DatasetProfile::all() {
+        let ((s_lo, s_hi), (zi_lo, zi_hi), (zo_lo, zo_hi)) = bands(profile.name);
+        for seed in [1, 42, 1234] {
+            let g = profile.generate(0.003, seed);
+            let symm = reciprocity(&g);
+            let stats = DegreeStats::of(&g);
+            assert!(
+                (s_lo - 1e-9..=s_hi + 1e-9).contains(&symm),
+                "{} seed {seed}: symmetry {symm} outside [{s_lo}, {s_hi}]",
+                profile.name
+            );
+            assert!(
+                (zi_lo..=zi_hi).contains(&stats.zero_in_fraction)
+                    || (zi_lo == 0.0 && stats.zero_in_fraction == 0.0),
+                "{} seed {seed}: zero-in {} outside [{zi_lo}, {zi_hi}]",
+                profile.name,
+                stats.zero_in_fraction
+            );
+            assert!(
+                (zo_lo..=zo_hi).contains(&stats.zero_out_fraction)
+                    || (zo_lo == 0.0 && stats.zero_out_fraction == 0.0),
+                "{} seed {seed}: zero-out {} outside [{zo_lo}, {zo_hi}]",
+                profile.name,
+                stats.zero_out_fraction
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_density_tracks_table1_across_scales() {
+    for profile in DatasetProfile::all() {
+        let expected = profile.base_edges as f64 / profile.base_vertices as f64;
+        for scale in [0.002, 0.006] {
+            let g = profile.generate(scale, 7);
+            let measured = g.num_edges() as f64 / g.num_vertices() as f64;
+            let ratio = measured / expected;
+            assert!(
+                (0.45..=1.7).contains(&ratio),
+                "{} @ {scale}: avg degree {measured:.2} vs table {expected:.2}",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn road_networks_fragment_social_networks_do_not() {
+    for profile in DatasetProfile::all() {
+        let g = profile.generate(0.004, 3);
+        let wcc = weakly_connected_components(&g);
+        let is_road = profile.name.starts_with("RoadNet");
+        if is_road {
+            assert!(wcc.count > 5, "{}: {} components", profile.name, wcc.count);
+            // But one giant component dominates, as in real road networks.
+            assert!(
+                wcc.largest() as f64 > 0.8 * g.num_vertices() as f64,
+                "{}: largest {}",
+                profile.name,
+                wcc.largest()
+            );
+        } else {
+            assert!(
+                (wcc.count as f64) < 0.05 * g.num_vertices() as f64,
+                "{}: {} components",
+                profile.name,
+                wcc.count
+            );
+        }
+    }
+}
+
+#[test]
+fn follow_crawls_have_superstar_tails() {
+    // Figure 2's shape: the crawls have far more extreme in-degree hubs
+    // than the directed social networks.
+    let follow = DatasetProfile::follow_dec().generate(0.004, 5);
+    let pocek = DatasetProfile::pocek().generate(0.004, 5);
+    let hub = |g: &cutfit_graph::Graph| {
+        let s = DegreeStats::of(g);
+        s.max_in_degree as f64 / (g.num_edges() as f64 / g.num_vertices() as f64)
+    };
+    assert!(
+        hub(&follow) > 2.0 * hub(&pocek),
+        "follow hub ratio {} vs pocek {}",
+        hub(&follow),
+        hub(&pocek)
+    );
+}
+
+#[test]
+fn triangle_density_ordering_matches_table1() {
+    use cutfit_graph::analysis::count_triangles;
+    let t_per_v = |p: &DatasetProfile| {
+        let g = p.generate(0.003, 9);
+        count_triangles(&g) as f64 / g.num_vertices() as f64
+    };
+    let road = t_per_v(&DatasetProfile::road_net_ca());
+    let youtube = t_per_v(&DatasetProfile::youtube());
+    let follow = t_per_v(&DatasetProfile::follow_dec());
+    assert!(road < youtube, "roads ({road}) < youtube ({youtube})");
+    assert!(youtube < follow, "youtube ({youtube}) < follow ({follow})");
+}

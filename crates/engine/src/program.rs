@@ -1,0 +1,161 @@
+//! The vertex-program abstraction (GraphX `Pregel` signature).
+
+use cutfit_graph::VertexId;
+
+/// Messages produced by scanning one edge triplet. An enum rather than a
+/// vector: no algorithm in this workspace sends more than one message per
+/// endpoint per edge, and avoiding the allocation keeps scans cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Messages<M> {
+    /// Send nothing.
+    None,
+    /// Message to the source vertex.
+    ToSrc(M),
+    /// Message to the destination vertex.
+    ToDst(M),
+    /// Messages to both endpoints.
+    Both(M, M),
+}
+
+/// Which endpoint must be active for an edge to be scanned — GraphX's
+/// `activeDirection` optimisation that lets converged regions of the graph
+/// stop costing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveDirection {
+    /// Scan if either endpoint is active (label propagation).
+    Either,
+    /// Scan only if the source is active (PageRank-style push).
+    Out,
+    /// Scan only if the destination is active.
+    In,
+    /// Scan only if both endpoints are active.
+    Both,
+}
+
+/// A read-only view of one edge and its endpoint states during a scan.
+#[derive(Debug)]
+pub struct Triplet<'a, V> {
+    /// Source vertex id.
+    pub src: VertexId,
+    /// Destination vertex id.
+    pub dst: VertexId,
+    /// Source state (replica value, equal to the master's after broadcast).
+    pub src_state: &'a V,
+    /// Destination state.
+    pub dst_state: &'a V,
+    /// Global out-degree of the source (GraphX exposes this via edge
+    /// attributes for PageRank's weight normalisation).
+    pub src_out_degree: u32,
+    /// Global in-degree of the destination.
+    pub dst_in_degree: u32,
+}
+
+/// Initialisation context handed to [`VertexProgram::initial_state`].
+#[derive(Debug)]
+pub struct InitCtx<'a> {
+    /// Global out-degrees.
+    pub out_degrees: &'a [u32],
+    /// Global in-degrees.
+    pub in_degrees: &'a [u32],
+    /// Total vertices.
+    pub num_vertices: u64,
+}
+
+/// A Pregel vertex program: the GraphX `Pregel(vprog, sendMsg, mergeMsg)`
+/// triple plus sizing callbacks used by the cluster cost model.
+///
+/// `merge` must be commutative and associative — the engine relies on this
+/// to produce identical results under sequential and parallel execution
+/// (property-tested in the workspace integration suite).
+pub trait VertexProgram: Sync {
+    /// Vertex state type.
+    type State: Clone + Send + Sync;
+    /// Message type.
+    type Msg: Clone + Send + Sync;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Initial state of vertex `v`.
+    fn initial_state(&self, v: VertexId, ctx: &InitCtx<'_>) -> Self::State;
+
+    /// The message delivered to every vertex before the first superstep
+    /// (GraphX's `initialMsg`).
+    fn initial_msg(&self) -> Self::Msg;
+
+    /// Vertex program: combines the current state with the merged inbound
+    /// message, returning the new state.
+    fn apply(&self, v: VertexId, state: &Self::State, msg: &Self::Msg) -> Self::State;
+
+    /// Scan function: messages emitted by one edge triplet.
+    fn send(&self, triplet: &Triplet<'_, Self::State>) -> Messages<Self::Msg>;
+
+    /// Commutative, associative message combiner.
+    fn merge(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// Which endpoint activity triggers a scan of an edge.
+    fn active_direction(&self) -> ActiveDirection {
+        ActiveDirection::Either
+    }
+
+    /// When true, every vertex stays active every superstep — the semantics
+    /// of GraphX's *static* PageRank, which recomputes all ranks each round
+    /// regardless of message receipt. Programs returning true terminate via
+    /// `max_iterations` only.
+    fn always_active(&self) -> bool {
+        false
+    }
+
+    /// Serialized size of a state value, used for broadcast billing and
+    /// memory accounting. Defaults to the in-memory size.
+    fn state_bytes(&self, _state: &Self::State) -> u64 {
+        std::mem::size_of::<Self::State>() as u64
+    }
+
+    /// Serialized size of a message, used for shuffle billing.
+    fn msg_bytes(&self, _msg: &Self::Msg) -> u64 {
+        std::mem::size_of::<Self::Msg>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl VertexProgram for Dummy {
+        type State = u64;
+        type Msg = u64;
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn initial_state(&self, v: VertexId, _ctx: &InitCtx<'_>) -> u64 {
+            v
+        }
+        fn initial_msg(&self) -> u64 {
+            0
+        }
+        fn apply(&self, _v: VertexId, state: &u64, msg: &u64) -> u64 {
+            state + msg
+        }
+        fn send(&self, t: &Triplet<'_, u64>) -> Messages<u64> {
+            Messages::ToDst(*t.src_state)
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn default_sizes_are_memory_sizes() {
+        let d = Dummy;
+        assert_eq!(d.state_bytes(&7), 8);
+        assert_eq!(d.msg_bytes(&7), 8);
+        assert_eq!(d.active_direction(), ActiveDirection::Either);
+    }
+
+    #[test]
+    fn messages_enum_is_cheap() {
+        assert!(std::mem::size_of::<Messages<u64>>() <= 24);
+    }
+}

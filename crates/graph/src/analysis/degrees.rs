@@ -1,0 +1,115 @@
+//! Degree statistics: zero-degree fractions (Table 1), degree distributions
+//! (Figure 1), and the out/in-degree ratio series (Figure 2).
+
+use crate::graph::Graph;
+
+/// Aggregated degree statistics for a graph.
+#[derive(Debug, Clone)]
+pub struct DegreeStats {
+    /// Out-degree per vertex.
+    pub out_degrees: Vec<u32>,
+    /// In-degree per vertex.
+    pub in_degrees: Vec<u32>,
+    /// Fraction of vertices with zero in-degree (paper's `ZeroIn%` / 100).
+    pub zero_in_fraction: f64,
+    /// Fraction of vertices with zero out-degree (paper's `ZeroOut%` / 100).
+    pub zero_out_fraction: f64,
+    /// Maximum out-degree ("superstar" indicator).
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+}
+
+impl DegreeStats {
+    /// Computes all degree statistics in two passes over the edge list.
+    pub fn of(graph: &Graph) -> Self {
+        let out_degrees = graph.out_degrees();
+        let in_degrees = graph.in_degrees();
+        let n = graph.num_vertices().max(1) as f64;
+        let zero_in = in_degrees.iter().filter(|&&d| d == 0).count() as f64 / n;
+        let zero_out = out_degrees.iter().filter(|&&d| d == 0).count() as f64 / n;
+        Self {
+            zero_in_fraction: zero_in,
+            zero_out_fraction: zero_out,
+            max_out_degree: out_degrees.iter().copied().max().unwrap_or(0),
+            max_in_degree: in_degrees.iter().copied().max().unwrap_or(0),
+            out_degrees,
+            in_degrees,
+        }
+    }
+
+    /// Average out-degree (equals |E| / |V| for a directed graph).
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.out_degrees.is_empty() {
+            return 0.0;
+        }
+        self.out_degrees.iter().map(|&d| d as f64).sum::<f64>() / self.out_degrees.len() as f64
+    }
+}
+
+/// Per-vertex out-degree / in-degree ratios — the sample whose CDF the paper
+/// plots in Figure 2. Vertices with `in = 0` and `out > 0` map to `+inf`;
+/// vertices with `in = out = 0` are skipped (the ratio is undefined).
+pub fn degree_ratio_series(graph: &Graph) -> Vec<f64> {
+    let out = graph.out_degrees();
+    let inn = graph.in_degrees();
+    out.iter()
+        .zip(&inn)
+        .filter(|(&o, &i)| o > 0 || i > 0)
+        .map(|(&o, &i)| {
+            if i == 0 {
+                f64::INFINITY
+            } else {
+                o as f64 / i as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    #[test]
+    fn zero_fractions() {
+        // 0->1, 0->2: vertex 0 has zero in, vertices 1,2 have zero out, 3 both.
+        let g = Graph::new(4, vec![Edge::new(0, 1), Edge::new(0, 2)]);
+        let s = DegreeStats::of(&g);
+        assert!((s.zero_in_fraction - 0.5).abs() < 1e-12); // vertices 0 and 3
+        assert!((s.zero_out_fraction - 0.75).abs() < 1e-12); // 1, 2, 3
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn symmetric_graph_has_ratio_one() {
+        let g = Graph::new(2, vec![Edge::new(0, 1)]).symmetrized();
+        let ratios = degree_ratio_series(&g);
+        assert!(ratios.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn ratio_series_handles_zero_in() {
+        let g = Graph::new(3, vec![Edge::new(0, 1)]);
+        let ratios = degree_ratio_series(&g);
+        // vertex 0: out 1 / in 0 = inf; vertex 1: 0/1 = 0; vertex 2 skipped.
+        assert_eq!(ratios.len(), 2);
+        assert!(ratios.contains(&f64::INFINITY));
+        assert!(ratios.contains(&0.0));
+    }
+
+    #[test]
+    fn avg_out_degree() {
+        let g = Graph::new(4, vec![Edge::new(0, 1), Edge::new(0, 2)]);
+        assert!((DegreeStats::of(&g).avg_out_degree() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, vec![]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max_in_degree, 0);
+        assert_eq!(s.avg_out_degree(), 0.0);
+    }
+}

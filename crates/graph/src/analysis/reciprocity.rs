@@ -1,0 +1,79 @@
+//! Edge reciprocity — the paper's "Symm" column of Table 1.
+//!
+//! Symmetry is the percentage of (non-loop, distinct) directed edges whose
+//! reverse edge is also present. Undirected datasets stored as symmetric
+//! directed graphs measure exactly 100 %.
+
+use crate::graph::Graph;
+use crate::types::Edge;
+
+/// Fraction (0–1) of distinct non-loop edges `(u, v)` for which `(v, u)` is
+/// also an edge. Returns 1.0 for a graph with no qualifying edges (vacuous).
+pub fn reciprocity(graph: &Graph) -> f64 {
+    let mut edges: Vec<Edge> = graph
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| !e.is_loop())
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    if edges.is_empty() {
+        return 1.0;
+    }
+    let reciprocated = edges
+        .iter()
+        .filter(|e| edges.binary_search(&e.reversed()).is_ok())
+        .count();
+    reciprocated as f64 / edges.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_graph_is_fully_reciprocal() {
+        let g = Graph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).symmetrized();
+        assert!((reciprocity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_way_graph_is_zero() {
+        let g = Graph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+        assert_eq!(reciprocity(&g), 0.0);
+    }
+
+    #[test]
+    fn half_reciprocated() {
+        let g = Graph::new(
+            3,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(1, 2),
+                Edge::new(0, 2),
+            ],
+        );
+        assert!((reciprocity(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loops_and_duplicates_ignored() {
+        let g = Graph::new(
+            2,
+            vec![
+                Edge::new(0, 0),
+                Edge::new(0, 1),
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+            ],
+        );
+        assert!((reciprocity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_vacuously_symmetric() {
+        assert_eq!(reciprocity(&Graph::new(5, vec![])), 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Incremental graph construction with optional normalisation passes.
+
+use crate::graph::Graph;
+use crate::types::{Edge, VertexId};
+
+/// Builds a [`Graph`] edge by edge, tracking the largest vertex ID seen.
+///
+/// ```
+/// use cutfit_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    max_id: Option<VertexId>,
+    min_vertices: u64,
+    dedup: bool,
+    drop_loops: bool,
+    symmetrize: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates capacity for `n` edges.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            edges: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Ensures the built graph has at least `n` vertices even if some have
+    /// no edges (needed to preserve isolated vertices from a known universe).
+    pub fn reserve_vertices(&mut self, n: u64) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Removes duplicate directed edges at build time.
+    pub fn dedup(&mut self, yes: bool) -> &mut Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Drops self-loops at build time.
+    pub fn drop_loops(&mut self, yes: bool) -> &mut Self {
+        self.drop_loops = yes;
+        self
+    }
+
+    /// Stores both directions of every edge at build time (implies dedup of
+    /// the added reverses together with normal dedup if enabled).
+    pub fn symmetrize(&mut self, yes: bool) -> &mut Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Appends one edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.max_id = Some(self.max_id.map_or(src.max(dst), |m| m.max(src).max(dst)));
+        self.edges.push(Edge::new(src, dst));
+        self
+    }
+
+    /// Appends many edges.
+    pub fn extend<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, it: I) -> &mut Self {
+        for (s, d) in it {
+            self.add_edge(s, d);
+        }
+        self
+    }
+
+    /// Number of edges currently buffered (before normalisation).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge has been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalises the graph, applying the configured normalisation passes.
+    pub fn build(mut self) -> Graph {
+        if self.drop_loops {
+            self.edges.retain(|e| !e.is_loop());
+        }
+        if self.symmetrize {
+            let mut reversed: Vec<Edge> = self
+                .edges
+                .iter()
+                .filter(|e| !e.is_loop())
+                .map(|e| e.reversed())
+                .collect();
+            self.edges.append(&mut reversed);
+            // Symmetrisation introduces duplicates whenever both directions
+            // were already present; always dedup in this mode.
+            self.dedup = true;
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        let n = self
+            .max_id
+            .map_or(0, |m| m + 1)
+            .max(self.min_vertices);
+        Graph::new_unchecked(n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn vertex_count_is_max_id_plus_one() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(3, 9);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn reserve_vertices_preserves_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(100);
+        assert_eq!(b.build().num_vertices(), 100);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut b = GraphBuilder::new();
+        b.dedup(true);
+        b.extend([(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn drop_loops_removes_self_edges() {
+        let mut b = GraphBuilder::new();
+        b.drop_loops(true);
+        b.extend([(0, 0), (0, 1)]);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_dedups() {
+        let mut b = GraphBuilder::new();
+        b.symmetrize(true);
+        b.extend([(0, 1), (1, 0), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.edges().contains(&Edge::new(2, 1)));
+    }
+
+    #[test]
+    fn len_tracks_buffered_edges() {
+        let mut b = GraphBuilder::new();
+        assert!(b.is_empty());
+        b.add_edge(1, 2);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Compressed sparse row adjacency built from an edge list.
+//!
+//! Analyses that walk neighbourhoods (BFS, triangles, SCC) need O(1) access
+//! to a vertex's neighbours; [`Csr`] provides that with two flat arrays and
+//! is built in O(V + E) by counting sort. Neighbour lists are sorted so that
+//! set intersections (triangle counting) can run by linear merge.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+
+/// Compressed sparse row adjacency: `neighbors(v)` is a sorted slice.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds out-neighbour adjacency (`v -> {w : (v, w) in E}`).
+    pub fn out_of(graph: &Graph) -> Self {
+        Self::build(
+            graph.num_vertices(),
+            graph.edges().iter().map(|e| (e.src, e.dst)),
+            graph.num_edges() as usize,
+        )
+    }
+
+    /// Builds in-neighbour adjacency (`v -> {u : (u, v) in E}`).
+    pub fn in_of(graph: &Graph) -> Self {
+        Self::build(
+            graph.num_vertices(),
+            graph.edges().iter().map(|e| (e.dst, e.src)),
+            graph.num_edges() as usize,
+        )
+    }
+
+    /// Builds undirected adjacency over the *simple* version of the graph:
+    /// both directions merged, duplicates and self-loops removed.
+    pub fn undirected_simple_of(graph: &Graph) -> Self {
+        let mut csr = Self::build(
+            graph.num_vertices(),
+            graph
+                .edges()
+                .iter()
+                .filter(|e| !e.is_loop())
+                .flat_map(|e| [(e.src, e.dst), (e.dst, e.src)]),
+            graph.num_edges() as usize * 2,
+        );
+        csr.dedup_neighbors();
+        csr
+    }
+
+    fn build<I: Iterator<Item = (VertexId, VertexId)> + Clone>(
+        n: u64,
+        pairs: I,
+        cap: usize,
+    ) -> Self {
+        let n = n as usize;
+        let mut counts = vec![0u64; n + 1];
+        for (s, _) in pairs.clone() {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; cap.min(offsets[n] as usize)];
+        targets.resize(offsets[n] as usize, 0);
+        for (s, d) in pairs {
+            let pos = cursor[s as usize];
+            targets[pos as usize] = d;
+            cursor[s as usize] += 1;
+        }
+        let mut csr = Self { offsets, targets };
+        csr.sort_neighbors();
+        csr
+    }
+
+    fn sort_neighbors(&mut self) {
+        for v in 0..self.num_vertices() {
+            let (lo, hi) = self.bounds(v);
+            self.targets[lo..hi].sort_unstable();
+        }
+    }
+
+    fn dedup_neighbors(&mut self) {
+        let n = self.num_vertices();
+        let mut new_targets = Vec::with_capacity(self.targets.len());
+        let mut new_offsets = vec![0u64; n as usize + 1];
+        for v in 0..n {
+            let (lo, hi) = self.bounds(v);
+            let mut prev: Option<VertexId> = None;
+            for &t in &self.targets[lo..hi] {
+                if prev != Some(t) {
+                    new_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets[v as usize + 1] = new_targets.len() as u64;
+        }
+        self.offsets = new_offsets;
+        self.targets = new_targets;
+    }
+
+    #[inline]
+    fn bounds(&self, v: VertexId) -> (usize, usize) {
+        (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        )
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Total number of stored adjacency entries.
+    #[inline]
+    pub fn num_entries(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = self.bounds(v);
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v` in this adjacency.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        let (lo, hi) = self.bounds(v);
+        (hi - lo) as u64
+    }
+}
+
+/// Counts common elements of two sorted slices by linear merge.
+pub fn sorted_intersection_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Graph::new(
+            4,
+            vec![
+                Edge::new(0, 2),
+                Edge::new(0, 1),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn out_adjacency_sorted() {
+        let csr = Csr::out_of(&diamond());
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[3]);
+        assert_eq!(csr.neighbors(3), &[] as &[VertexId]);
+        assert_eq!(csr.degree(0), 2);
+    }
+
+    #[test]
+    fn in_adjacency() {
+        let csr = Csr::in_of(&diamond());
+        assert_eq!(csr.neighbors(3), &[1, 2]);
+        assert_eq!(csr.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn undirected_simple_merges_and_dedups() {
+        let g = Graph::new(
+            3,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(0, 1),
+                Edge::new(1, 1),
+                Edge::new(1, 2),
+            ],
+        );
+        let csr = Csr::undirected_simple_of(&g);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(csr.neighbors(2), &[1]);
+        assert_eq!(csr.num_entries(), 4);
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let g = Graph::new(3, vec![]);
+        let csr = Csr::out_of(&g);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_entries(), 0);
+        assert_eq!(csr.neighbors(1), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn intersection_count() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5, 7], &[3, 4, 5, 6]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[2, 2], &[2]), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Reading and writing whitespace-separated edge lists (the SNAP format the
+//! paper's datasets ship in: one `src dst` pair per line, `#` comments).
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line did not contain two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a SNAP-style edge list: `src dst` per line, blank lines and lines
+/// starting with `#` ignored.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut builder = GraphBuilder::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(s), Some(d)) => {
+                builder.add_edge(s, d);
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes the graph as a `src dst` edge list with a header comment.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# cutfit edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {}", e.src, e.dst)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    #[test]
+    fn parse_roundtrip() {
+        let g = Graph::new(4, vec![Edge::new(0, 1), Edge::new(3, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed.num_edges(), 2);
+        assert_eq!(parsed.edges(), g.edges());
+        assert_eq!(parsed.num_vertices(), 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 1\n   \n# trailing\n2\t3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges()[1], Edge::new(2, 3));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_token_line_is_malformed() {
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_is_helpful() {
+        let err = read_edge_list("x y\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Core identifier and edge types.
+
+/// A vertex identifier. GraphX uses JVM `Long`s; we use `u64`.
+///
+/// Generators in `cutfit-datagen` assign IDs in *discovery order* (spatial
+/// order for road networks, crawl order for social graphs), so that ID
+/// proximity carries locality — the property the paper's SC/DC partitioners
+/// were designed to exploit (§3).
+pub type VertexId = u64;
+
+/// A partition identifier (GraphX `PartitionID` is an `Int`).
+pub type PartId = u32;
+
+/// A directed edge. The graph is a multigraph: parallel edges are allowed
+/// and each occurrence is partitioned and processed independently, exactly
+/// as in GraphX's `EdgeRDD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge `src -> dst`.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Self { src, dst }
+    }
+
+    /// The edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Canonical form: endpoints ordered ascending. Two edges that connect
+    /// the same pair of vertices in either direction share a canonical form;
+    /// this is the direction-erasing trick behind the CRVC partitioner.
+    #[inline]
+    pub fn canonical(self) -> Self {
+        if self.src <= self.dst {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// True for self-loops.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Self { src, dst }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps() {
+        assert_eq!(Edge::new(1, 2).reversed(), Edge::new(2, 1));
+    }
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::new(5, 3).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(3, 5).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(4, 4).canonical(), Edge::new(4, 4));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::new(7, 7).is_loop());
+        assert!(!Edge::new(7, 8).is_loop());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let e: Edge = (1u64, 2u64).into();
+        assert_eq!(e, Edge::new(1, 2));
+    }
+}

@@ -1,0 +1,27 @@
+//! Vertex-cut edge partitioning: strategies, the partitioned-graph
+//! representation, and the characterization metrics of the paper.
+//!
+//! GraphX partitions a graph by distributing its **edges** across `N`
+//! partitions and replicating every vertex into each partition that holds
+//! one of its edges (a *vertex cut*). Which edges land together is decided
+//! by a [`Partitioner`]; the paper studies four partitioners that ship with
+//! GraphX plus two it proposes ([`GraphXStrategy`]), and we add three
+//! streaming baselines from the literature ([`streaming`]) for ablations.
+//!
+//! The quality of a partitioning is summarised by the five metrics of §3.1
+//! ([`PartitionMetrics`]): Balance, Non-Cut vertices, Cut vertices,
+//! Communication Cost, and the standard deviation of edge-partition sizes.
+
+pub mod graphx;
+pub mod metrics;
+pub mod multilevel;
+pub mod partitioned;
+pub mod strategy;
+pub mod streaming;
+
+pub use graphx::GraphXStrategy;
+pub use metrics::{MetricKind, PartitionMetrics};
+pub use multilevel::MultilevelEdgeCut;
+pub use partitioned::{EdgePartition, PartitionedGraph, RoutingTable};
+pub use strategy::{all_partitioners, Partitioner};
+pub use streaming::{Dbh, GreedyVertexCut, Hdrf, HybridCut, SourceRangeCut};

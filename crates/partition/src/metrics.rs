@@ -1,0 +1,251 @@
+//! The five partitioning metrics of §3.1, plus the related quantities the
+//! paper mentions (replication factor, vertices-to-same/other).
+//!
+//! Definitions follow the paper verbatim:
+//!
+//! * **Balance** — edges in the biggest partition / average edges per
+//!   partition (average over *all* `N` partitions, empty ones included).
+//! * **Non-Cut** — vertices residing in exactly one partition.
+//! * **Cut** — vertices residing in more than one partition.
+//! * **Communication Cost** — total number of replicas of cut vertices
+//!   (each such replica implies messages every BSP superstep).
+//! * **PartStDev** — population standard deviation of edges per partition.
+//!
+//! The paper notes an identity between these and the Mykhailenko et al.
+//! "vertices to same/other" metrics: `CommCost + NonCut` equals the total
+//! replica count, which also equals `VerticesToSame + VerticesToOther` when
+//! *same* counts the master-collocated replica of each present vertex and
+//! *other* counts the rest. [`PartitionMetrics`] exposes all of them and the
+//! identity is enforced by tests.
+
+use cutfit_stats::Summary;
+
+use crate::partitioned::PartitionedGraph;
+
+/// Which metric to read from a [`PartitionMetrics`] — used by the experiment
+/// harness to correlate each metric against execution time (Figures 3–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Max/avg edge-partition size ratio.
+    Balance,
+    /// Vertices in exactly one partition.
+    NonCut,
+    /// Vertices in more than one partition.
+    Cut,
+    /// Total replicas of cut vertices.
+    CommCost,
+    /// Standard deviation of edges per partition.
+    PartStDev,
+    /// Replicas per present vertex (not a paper table column, but standard).
+    ReplicationFactor,
+}
+
+impl MetricKind {
+    /// All kinds, in the column order of Tables 2–3 (plus replication).
+    pub fn all() -> [MetricKind; 6] {
+        [
+            Self::Balance,
+            Self::NonCut,
+            Self::Cut,
+            Self::CommCost,
+            Self::PartStDev,
+            Self::ReplicationFactor,
+        ]
+    }
+
+    /// Column header as printed in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Balance => "Balance",
+            Self::NonCut => "NonCut",
+            Self::Cut => "Cut",
+            Self::CommCost => "CommCost",
+            Self::PartStDev => "PartStDev",
+            Self::ReplicationFactor => "ReplFactor",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// All partitioning metrics for one (graph, partitioner, N) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMetrics {
+    /// Number of partitions.
+    pub num_parts: u32,
+    /// Total edges.
+    pub edges: u64,
+    /// Vertices with at least one replica (isolated vertices excluded).
+    pub vertices_present: u64,
+    /// Max / average edges per partition.
+    pub balance: f64,
+    /// Vertices in exactly one partition.
+    pub non_cut: u64,
+    /// Vertices in more than one partition.
+    pub cut: u64,
+    /// Total replicas of cut vertices.
+    pub comm_cost: u64,
+    /// Population standard deviation of edges per partition.
+    pub part_stdev: f64,
+    /// Total replicas (= `comm_cost + non_cut`).
+    pub total_replicas: u64,
+    /// Replicas per present vertex.
+    pub replication_factor: f64,
+    /// Master-collocated replicas (one per present vertex).
+    pub vertices_to_same: u64,
+    /// Non-master replicas (= `total_replicas - vertices_to_same`).
+    pub vertices_to_other: u64,
+    /// Edges in the largest partition.
+    pub max_part_edges: u64,
+    /// Edges in the smallest partition.
+    pub min_part_edges: u64,
+}
+
+impl PartitionMetrics {
+    /// Computes every metric from a built partitioning.
+    pub fn of(pg: &PartitionedGraph) -> Self {
+        let counts = pg.edge_counts();
+        let summary = Summary::of_counts(counts.iter().copied());
+        let edges: u64 = counts.iter().sum();
+        let avg = edges as f64 / pg.num_parts() as f64;
+
+        let mut non_cut = 0u64;
+        let mut cut = 0u64;
+        let mut comm_cost = 0u64;
+        for v in 0..pg.num_vertices() {
+            match pg.routing().replication(v) {
+                0 => {}
+                1 => non_cut += 1,
+                k => {
+                    cut += 1;
+                    comm_cost += k as u64;
+                }
+            }
+        }
+        let vertices_present = non_cut + cut;
+        let total_replicas = comm_cost + non_cut;
+        Self {
+            num_parts: pg.num_parts(),
+            edges,
+            vertices_present,
+            balance: if avg > 0.0 { summary.max / avg } else { 1.0 },
+            non_cut,
+            cut,
+            comm_cost,
+            part_stdev: summary.std_dev,
+            total_replicas,
+            replication_factor: if vertices_present > 0 {
+                total_replicas as f64 / vertices_present as f64
+            } else {
+                0.0
+            },
+            vertices_to_same: vertices_present,
+            vertices_to_other: total_replicas - vertices_present,
+            max_part_edges: summary.max as u64,
+            min_part_edges: if summary.count == 0 { 0 } else { summary.min as u64 },
+        }
+    }
+
+    /// Reads one metric as a float (for correlation computations).
+    pub fn get(&self, kind: MetricKind) -> f64 {
+        match kind {
+            MetricKind::Balance => self.balance,
+            MetricKind::NonCut => self.non_cut as f64,
+            MetricKind::Cut => self.cut as f64,
+            MetricKind::CommCost => self.comm_cost as f64,
+            MetricKind::PartStDev => self.part_stdev,
+            MetricKind::ReplicationFactor => self.replication_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphx::GraphXStrategy;
+    use crate::strategy::Partitioner;
+    use cutfit_graph::{Edge, Graph};
+
+    fn star(n: u64) -> Graph {
+        Graph::new(n, (1..n).map(|v| Edge::new(0, v)).collect())
+    }
+
+    #[test]
+    fn star_under_source_cut_has_no_cut_vertices() {
+        // All edges share source 0 -> all in one partition -> nothing is cut.
+        let pg = GraphXStrategy::SourceCut.partition(&star(10), 4);
+        let m = PartitionMetrics::of(&pg);
+        assert_eq!(m.cut, 0);
+        assert_eq!(m.non_cut, 10);
+        assert_eq!(m.comm_cost, 0);
+        assert_eq!(m.total_replicas, 10);
+        assert_eq!(m.max_part_edges, 9);
+        assert_eq!(m.min_part_edges, 0);
+        // Max 9 edges, average 9/4.
+        assert!((m.balance - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_under_destination_cut_cuts_the_hub() {
+        let pg = GraphXStrategy::DestinationCut.partition(&star(9), 4);
+        let m = PartitionMetrics::of(&pg);
+        // Hub 0 is replicated into every partition; leaves are non-cut.
+        assert_eq!(m.cut, 1);
+        assert_eq!(m.non_cut, 8);
+        assert_eq!(m.comm_cost, 4);
+        assert!((m.replication_factor - 12.0 / 9.0).abs() < 1e-12);
+        // Leaves 1..9 spread perfectly over 4 partitions.
+        assert!((m.balance - 1.0).abs() < 1e-12);
+        assert_eq!(m.part_stdev, 0.0);
+    }
+
+    #[test]
+    fn identity_comm_cost_plus_non_cut_is_total_replicas() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 3);
+        for strat in GraphXStrategy::all() {
+            for n in [2u32, 7, 16, 128] {
+                let m = PartitionMetrics::of(&strat.partition(&g, n));
+                assert_eq!(m.comm_cost + m.non_cut, m.total_replicas, "{strat} n={n}");
+                assert_eq!(
+                    m.vertices_to_same + m.vertices_to_other,
+                    m.total_replicas,
+                    "{strat} n={n}"
+                );
+                assert_eq!(m.cut + m.non_cut, m.vertices_present);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_count() {
+        let g = Graph::new(10, vec![Edge::new(0, 1)]);
+        let m = PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 2));
+        assert_eq!(m.vertices_present, 2);
+        assert_eq!(m.non_cut, 2);
+    }
+
+    #[test]
+    fn get_matches_fields() {
+        let pg = GraphXStrategy::EdgePartition1D.partition(&star(20), 4);
+        let m = PartitionMetrics::of(&pg);
+        assert_eq!(m.get(MetricKind::Cut), m.cut as f64);
+        assert_eq!(m.get(MetricKind::CommCost), m.comm_cost as f64);
+        assert_eq!(m.get(MetricKind::Balance), m.balance);
+        assert_eq!(m.get(MetricKind::PartStDev), m.part_stdev);
+        assert_eq!(m.get(MetricKind::NonCut), m.non_cut as f64);
+        assert_eq!(m.get(MetricKind::ReplicationFactor), m.replication_factor);
+    }
+
+    #[test]
+    fn single_partition_is_perfectly_balanced() {
+        let g = star(50);
+        let m = PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 1));
+        assert_eq!(m.balance, 1.0);
+        assert_eq!(m.cut, 0);
+        assert_eq!(m.part_stdev, 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`Partitioner`] abstraction.
+
+use cutfit_graph::types::PartId;
+use cutfit_graph::Graph;
+
+use crate::partitioned::PartitionedGraph;
+
+/// Assigns every edge of a graph to one of `num_parts` partitions.
+///
+/// Implementations fall in two families:
+///
+/// * **hash strategies** (GraphX's, and the paper's SC/DC): the partition of
+///   an edge is a pure function of its endpoint IDs — embarrassingly
+///   parallel and oblivious to the rest of the graph;
+/// * **streaming strategies** (DBH, Greedy, HDRF): the partition may depend
+///   on degrees or on previously assigned edges.
+///
+/// The trait is object-safe so experiment grids can iterate over
+/// heterogeneous strategy sets.
+pub trait Partitioner {
+    /// Short display name ("RVC", "2D", "HDRF", …) as used in the paper's
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns the partition of every edge, aligned with `graph.edges()`.
+    ///
+    /// Every returned value must be `< num_parts`.
+    fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId>;
+
+    /// Convenience: assign edges and build the full vertex-cut
+    /// representation with routing tables.
+    fn partition(&self, graph: &Graph, num_parts: PartId) -> PartitionedGraph {
+        let assignment = self.assign_edges(graph, num_parts);
+        PartitionedGraph::build(graph, &assignment, num_parts)
+    }
+}
+
+impl<P: Partitioner + ?Sized> Partitioner for &P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
+        (**self).assign_edges(graph, num_parts)
+    }
+}
+
+impl Partitioner for Box<dyn Partitioner> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
+        (**self).assign_edges(graph, num_parts)
+    }
+}
+
+/// The paper's six strategies plus the four baselines from the related
+/// literature, boxed for grid experiments. Order: the six as in Tables 2–3,
+/// then DBH, Greedy, HDRF, Hybrid, and the multilevel edge-cut baseline.
+pub fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    let mut v: Vec<Box<dyn Partitioner>> = crate::graphx::GraphXStrategy::all()
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn Partitioner>)
+        .collect();
+    v.push(Box::new(crate::streaming::Dbh));
+    v.push(Box::new(crate::streaming::GreedyVertexCut::default()));
+    v.push(Box::new(crate::streaming::Hdrf::default()));
+    v.push(Box::new(crate::streaming::HybridCut::default()));
+    v.push(Box::new(crate::multilevel::MultilevelEdgeCut::default()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_partitioners_has_eleven_unique_names() {
+        let names: Vec<&str> = all_partitioners().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 11);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 11, "duplicate names in {names:?}");
+    }
+
+    #[test]
+    fn boxed_partitioner_delegates() {
+        let p: Box<dyn Partitioner> = Box::new(crate::graphx::GraphXStrategy::SourceCut);
+        assert_eq!(p.name(), "SC");
+        let g = Graph::new(4, vec![cutfit_graph::Edge::new(1, 2)]);
+        assert_eq!(p.assign_edges(&g, 4), vec![1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Pearson and Spearman correlation.
+//!
+//! Figures 3–6 of the paper report Pearson correlation coefficients between
+//! execution time and a partitioning metric across (dataset × partitioner)
+//! observations. Spearman is provided as a robustness check: the paper's
+//! relationships are monotone rather than strictly linear for some datasets.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` if the samples differ in length, have fewer than two
+/// points, or either has zero variance.
+///
+/// ```
+/// use cutfit_stats::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson on fractional ranks (ties averaged).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks with ties receiving the average of their positions
+/// (1-based, as in the classical definition).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group spanning positions i..=j (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        let xs = [-1.0, 0.0, 1.0];
+        let ys = [1.0, 0.0, 1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None, "zero variance");
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed: cov = 8, var_x = var_y = 10, so r = 0.8.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 4.0, 9.0, 16.0]; // nonlinear but monotone
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [8.0, 6.0, 4.0, 2.0];
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+}

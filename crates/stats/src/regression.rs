@@ -1,0 +1,85 @@
+//! Ordinary least squares fit of a line, with R².
+//!
+//! Used by the experiment harness to annotate time-vs-metric scatter series
+//! with a trend line, matching the visual presentation of Figures 3–6.
+
+/// Result of fitting `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit. Returns `None` for fewer than two points or
+/// when `x` has zero variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 2.5, 1.5, 3.5, 3.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.3);
+        assert!(fit.slope > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

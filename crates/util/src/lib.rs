@@ -1,0 +1,15 @@
+//! Deterministic utilities shared by the `cutfit` workspace.
+//!
+//! The crates in this workspace need bit-for-bit reproducible results across
+//! runs, platforms, and toolchain upgrades, because the experiment harness
+//! compares generated datasets and partitionings against recorded paper
+//! shapes. To that end this crate hand-rolls a small, well-known PRNG
+//! ([`rng::Xoshiro256pp`]) and integer mixing functions ([`hash`]) rather than
+//! depending on external crates whose output may change between versions.
+
+pub mod fmt;
+pub mod hash;
+pub mod rng;
+pub mod table;
+
+pub use rng::Xoshiro256pp;

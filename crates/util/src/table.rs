@@ -1,0 +1,181 @@
+//! Minimal ASCII table and CSV rendering for experiment reports.
+//!
+//! The benchmark harness prints the paper's tables (Tables 1–3) and the data
+//! series behind its figures; this module gives those reports a uniform look
+//! without pulling in a formatting dependency.
+
+/// Column alignment inside an [`AsciiTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple table builder: set a header, push rows, render.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given column headers; numeric-looking columns
+    /// can be right-aligned via [`AsciiTable::aligns`].
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Self {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides per-column alignment. Extra entries are ignored; missing
+    /// entries default to left.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        for (i, &a) in aligns.iter().enumerate().take(self.aligns.len()) {
+            self.aligns[i] = a;
+        }
+        self
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator line.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        if i + 1 < cells.len() {
+                            line.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows). Cells containing commas or
+    /// quotes are quoted per RFC 4180.
+    pub fn render_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = AsciiTable::new(["name", "count"]).aligns(&[Align::Left, Align::Right]);
+        t.row(["alpha", "10"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("alpha"));
+        // Right alignment: "12345" ends the line, "10" is right-padded to match.
+        assert!(lines[3].ends_with("12345"));
+        assert!(lines[2].ends_with("   10"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = AsciiTable::new(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = AsciiTable::new(["k", "v"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"a,b\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn unicode_width_is_char_based() {
+        let mut t = AsciiTable::new(["col"]);
+        t.row(["ab"]);
+        t.row(["xyz"]);
+        let s = t.render();
+        assert!(s.lines().nth(1).unwrap().len() >= 3);
+    }
+}

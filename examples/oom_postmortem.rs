@@ -1,0 +1,70 @@
+//! Failure analysis: reproduce the paper's "Spark did not complete SSSP on
+//! the road networks due to out of memory errors" and do the post-mortem
+//! the paper couldn't — the simulated cluster reports exactly when and why
+//! an executor died, and lets you test a fix (checkpointing) immediately.
+//!
+//! ```text
+//! cargo run --release --example oom_postmortem
+//! ```
+
+use cutfit::prelude::*;
+
+fn main() {
+    let scale = 0.006;
+    let graph = DatasetProfile::road_net_ca().generate(scale, 42);
+    // Memory scales with the dataset so pressure matches the full-size run.
+    let cluster = ClusterConfig::paper_cluster().with_memory_scale(scale);
+    let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 128);
+    let landmarks = cutfit::algorithms::Sssp::pick_landmarks(graph.num_vertices(), 5, 7);
+
+    println!(
+        "SSSP to 5 landmarks on RoadNet-CA ({} vertices, diameter >> 120 supersteps)...",
+        graph.num_vertices()
+    );
+    match cutfit::algorithms::sssp(&pg, &cluster, landmarks.clone(), 10_000, &Default::default())
+    {
+        Ok(r) => println!("unexpectedly converged in {} supersteps", r.supersteps),
+        Err(SimError::OutOfMemory {
+            executor,
+            superstep,
+            required_gb,
+            capacity_gb,
+        }) => {
+            println!("died as in the paper:");
+            println!("  executor {executor} exhausted its memory at superstep {superstep}");
+            println!("  demand {required_gb:.2} GB vs usable capacity {capacity_gb:.2} GB");
+            println!(
+                "  diagnosis: un-checkpointed lineage — every superstep retains shuffle\n\
+                 \x20 bookkeeping, and a {}-hop road network needs hundreds of supersteps",
+                superstep
+            );
+        }
+    }
+
+    // The fix the GraphX documentation recommends: periodic checkpointing,
+    // which truncates the lineage. Model it by zeroing the per-superstep
+    // retention and re-running.
+    let mut checkpointed = cluster.clone();
+    checkpointed.cost.lineage_heap_fraction_per_superstep = 0.0;
+    checkpointed.cost.lineage_retention = 0.0;
+    checkpointed.name = "paper-cluster + checkpointing".to_string();
+    match cutfit::algorithms::sssp(&pg, &checkpointed, landmarks, 10_000, &Default::default()) {
+        Ok(r) => println!(
+            "\nwith checkpointing modelled: converged in {} supersteps, \
+             peak memory {:.2} GB, simulated {:.1}s",
+            r.supersteps, r.sim.peak_executor_memory_gb, r.sim.total_seconds
+        ),
+        Err(e) => println!("\nstill failing: {e}"),
+    }
+
+    // For contrast: a bounded-iteration job on the same graph and budget
+    // finishes comfortably — it is the superstep count, not the graph size,
+    // that kills.
+    let pr = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default())
+        .expect("10 iterations never trip the lineage limit");
+    println!(
+        "\nPageRank on the same graph under the same budget: fine \
+         (peak {:.2} GB over {} supersteps)",
+        pr.sim.peak_executor_memory_gb, pr.sim.supersteps
+    );
+}

@@ -1,0 +1,21 @@
+//! # cutfit — tailoring the graph partitioning to the computation
+//!
+//! A Rust reproduction of *"Cut to Fit: Tailoring the Partitioning to the
+//! Computation"* (Kolokasis & Pratikakis). This umbrella crate re-exports the
+//! full public API of [`cutfit_core`]; see the README for a tour and the
+//! `examples/` directory for runnable entry points.
+//!
+//! ```
+//! use cutfit::prelude::*;
+//!
+//! // Generate a small social graph, partition it six ways, and ask the
+//! // advisor which cut fits PageRank best.
+//! let graph = DatasetProfile::youtube().generate(0.002, 42);
+//! let strategy = Advisor::default()
+//!     .recommend(AlgorithmClass::EdgeBound, &graph, 16)
+//!     .strategy;
+//! let partitioned = strategy.partition(&graph, 16);
+//! assert_eq!(partitioned.num_parts(), 16);
+//! ```
+
+pub use cutfit_core::*;

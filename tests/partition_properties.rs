@@ -1,0 +1,153 @@
+//! Property-based tests on partitioning invariants (proptest).
+
+use cutfit::prelude::*;
+use cutfit::partition::all_partitioners;
+use proptest::prelude::*;
+
+/// Strategy for small random multigraphs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u64..200, 0usize..600).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m)
+            .prop_map(move |pairs| {
+                Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assignments_cover_every_edge_and_stay_in_range(
+        graph in arb_graph(),
+        num_parts in 1u32..300,
+    ) {
+        for partitioner in all_partitioners() {
+            let assignment = partitioner.assign_edges(&graph, num_parts);
+            prop_assert_eq!(assignment.len() as u64, graph.num_edges());
+            prop_assert!(
+                assignment.iter().all(|&p| p < num_parts),
+                "{} out of range", partitioner.name()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_graph_preserves_every_edge(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        let pg = GraphXStrategy::RandomVertexCut.partition(&graph, num_parts);
+        prop_assert_eq!(pg.num_edges(), graph.num_edges());
+        // Multiset of edges is preserved.
+        let mut original: Vec<Edge> = graph.edges().to_vec();
+        let mut rebuilt: Vec<Edge> = pg
+            .parts()
+            .iter()
+            .flat_map(|part| {
+                part.edges
+                    .iter()
+                    .map(move |&(ls, ld)| Edge::new(part.global(ls), part.global(ld)))
+            })
+            .collect();
+        original.sort_unstable();
+        rebuilt.sort_unstable();
+        prop_assert_eq!(original, rebuilt);
+    }
+
+    #[test]
+    fn metric_identities_hold_for_all_partitioners(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        for partitioner in all_partitioners() {
+            let pg = partitioner.partition(&graph, num_parts);
+            let m = PartitionMetrics::of(&pg);
+            // The paper's §3.1 identity: replicas split two ways.
+            prop_assert_eq!(m.comm_cost + m.non_cut, m.total_replicas);
+            prop_assert_eq!(m.vertices_to_same + m.vertices_to_other, m.total_replicas);
+            prop_assert_eq!(m.cut + m.non_cut, m.vertices_present);
+            prop_assert_eq!(m.total_replicas, pg.routing().total_replicas());
+            prop_assert!(m.balance >= 1.0 - 1e-12 || m.edges == 0);
+            prop_assert!(m.replication_factor >= 1.0 - 1e-12 || m.vertices_present == 0);
+            // Replication cannot exceed the partition count.
+            prop_assert!(m.replication_factor <= num_parts as f64 + 1e-12);
+            prop_assert_eq!(m.edges, graph.num_edges());
+        }
+    }
+
+    #[test]
+    fn two_d_replication_bound_holds(
+        graph in arb_graph(),
+        num_parts in 1u32..300,
+    ) {
+        let pg = GraphXStrategy::EdgePartition2D.partition(&graph, num_parts);
+        let bound = 2 * (num_parts as f64).sqrt().ceil() as u32;
+        for v in 0..graph.num_vertices() {
+            prop_assert!(
+                pg.routing().replication(v) <= bound,
+                "vertex {} replicated {} times, bound {}",
+                v, pg.routing().replication(v), bound
+            );
+        }
+    }
+
+    #[test]
+    fn one_d_and_sc_collocate_out_edges(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        // Every vertex's out-edges land in a single partition under 1D/SC.
+        for strategy in [GraphXStrategy::EdgePartition1D, GraphXStrategy::SourceCut] {
+            let assignment = strategy.assign_edges(&graph, num_parts);
+            let mut seen: std::collections::HashMap<u64, u32> = Default::default();
+            for (e, &p) in graph.edges().iter().zip(&assignment) {
+                if let Some(&prev) = seen.get(&e.src) {
+                    prop_assert_eq!(prev, p, "{} split vertex {}", strategy, e.src);
+                } else {
+                    seen.insert(e.src, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crvc_collocates_both_directions(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        let strategy = GraphXStrategy::CanonicalRandomVertexCut;
+        for e in graph.edges() {
+            prop_assert_eq!(
+                strategy.partition_edge(e.src, e.dst, num_parts),
+                strategy.partition_edge(e.dst, e.src, num_parts)
+            );
+        }
+    }
+
+    #[test]
+    fn masters_are_always_replicas(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        let pg = GraphXStrategy::DestinationCut.partition(&graph, num_parts);
+        for v in 0..graph.num_vertices() {
+            match pg.master_of(v) {
+                Some(m) => prop_assert!(pg.routing().parts_of(v).contains(&m)),
+                None => prop_assert_eq!(pg.routing().replication(v), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerates_cleanly(graph in arb_graph()) {
+        for partitioner in all_partitioners() {
+            let pg = partitioner.partition(&graph, 1);
+            let m = PartitionMetrics::of(&pg);
+            prop_assert_eq!(m.cut, 0, "{}", partitioner.name());
+            prop_assert_eq!(m.comm_cost, 0);
+            prop_assert!((m.balance - 1.0).abs() < 1e-12 || m.edges == 0);
+            prop_assert_eq!(m.part_stdev, 0.0);
+        }
+    }
+}
