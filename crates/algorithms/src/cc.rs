@@ -100,13 +100,15 @@ mod tests {
 
     #[test]
     fn counts_components() {
-        let g = Graph::new(
-            6,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 3)],
-        );
+        let g = Graph::new(6, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 3)]);
         let pg = GraphXStrategy::CanonicalRandomVertexCut.partition(&g, 4);
-        let r = connected_components(&pg, &ClusterConfig::paper_cluster(), 100, &Default::default())
-            .unwrap();
+        let r = connected_components(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            100,
+            &Default::default(),
+        )
+        .unwrap();
         let mut labels = r.states.clone();
         labels.sort_unstable();
         labels.dedup();
@@ -118,8 +120,13 @@ mod tests {
         // Labels must propagate against edge direction too.
         let g = Graph::new(3, vec![Edge::new(2, 1), Edge::new(1, 0)]);
         let pg = GraphXStrategy::SourceCut.partition(&g, 2);
-        let r = connected_components(&pg, &ClusterConfig::paper_cluster(), 100, &Default::default())
-            .unwrap();
+        let r = connected_components(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            100,
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(r.states, vec![0, 0, 0]);
     }
 

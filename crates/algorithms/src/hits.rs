@@ -108,8 +108,7 @@ pub fn reference_hits(graph: &Graph, iterations: u64) -> Vec<HitsScore> {
         for v in 0..n {
             // Vertices receiving no messages keep their scores (engine
             // semantics: apply only runs on message receipt).
-            if csr_in.neighbors(v as u64).is_empty() && csr_out.neighbors(v as u64).is_empty()
-            {
+            if csr_in.neighbors(v as u64).is_empty() && csr_out.neighbors(v as u64).is_empty() {
                 continue;
             }
             let authority: f64 = csr_in
@@ -165,8 +164,7 @@ mod tests {
         let r = hits(&pg, &ClusterConfig::paper_cluster(), 5, &Default::default()).unwrap();
         for (v, (a, b)) in r.states.iter().zip(&reference).enumerate() {
             assert!(
-                (a.authority - b.authority).abs() < 1e-9
-                    && (a.hub - b.hub).abs() < 1e-9,
+                (a.authority - b.authority).abs() < 1e-9 && (a.hub - b.hub).abs() < 1e-9,
                 "vertex {v}: {a:?} vs {b:?}"
             );
         }

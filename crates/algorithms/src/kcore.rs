@@ -189,7 +189,11 @@ mod tests {
 
     #[test]
     fn clique_members_have_core_three() {
-        let states = run(&clique_with_tail(), GraphXStrategy::CanonicalRandomVertexCut, 4);
+        let states = run(
+            &clique_with_tail(),
+            GraphXStrategy::CanonicalRandomVertexCut,
+            4,
+        );
         assert_eq!(&states[0..3], &[3, 3, 3]);
         assert_eq!(states[5], 1, "pendant tail");
     }

@@ -124,7 +124,11 @@ pub fn reference_label_propagation(graph: &Graph, iterations: u64) -> Vec<u64> {
         #[allow(clippy::needless_range_loop)] // v indexes labels and next
         for v in 0..n {
             let mut votes: LabelVotes = Vec::new();
-            for &w in out.neighbors(v as u64).iter().chain(inn.neighbors(v as u64)) {
+            for &w in out
+                .neighbors(v as u64)
+                .iter()
+                .chain(inn.neighbors(v as u64))
+            {
                 votes = merge_votes(votes, vec![(labels[w as usize], 1)]);
             }
             if let Some(l) = winning_label(&votes) {

@@ -129,8 +129,13 @@ mod tests {
     fn matches_reference_exactly_enough() {
         let g = chain_with_hub();
         let pg = GraphXStrategy::RandomVertexCut.partition(&g, 4);
-        let engine = pagerank(&pg, &ClusterConfig::paper_cluster(), 10, &Default::default())
-            .unwrap();
+        let engine = pagerank(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            10,
+            &Default::default(),
+        )
+        .unwrap();
         let reference = reference_pagerank(&g, 10);
         for (a, b) in engine.states.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -142,8 +147,13 @@ mod tests {
     fn hub_receives_highest_rank() {
         let g = chain_with_hub();
         let pg = GraphXStrategy::CanonicalRandomVertexCut.partition(&g, 2);
-        let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 10, &Default::default())
-            .unwrap();
+        let r = pagerank(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            10,
+            &Default::default(),
+        )
+        .unwrap();
         let max_idx = r
             .states
             .iter()
@@ -158,8 +168,13 @@ mod tests {
     fn rank_of_source_only_vertex_is_reset_prob() {
         let g = Graph::new(2, vec![Edge::new(0, 1)]);
         let pg = GraphXStrategy::SourceCut.partition(&g, 2);
-        let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 10, &Default::default())
-            .unwrap();
+        let r = pagerank(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            10,
+            &Default::default(),
+        )
+        .unwrap();
         // Vertex 0 never receives mass: keeps rank 1.0 (GraphX static PR
         // only updates vertices with inbound edges).
         assert_eq!(r.states[0], 1.0);
@@ -173,8 +188,7 @@ mod tests {
         let reference = reference_pagerank(&g, 5);
         for strat in GraphXStrategy::all() {
             let pg = strat.partition(&g, 8);
-            let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 5, &Default::default())
-                .unwrap();
+            let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 5, &Default::default()).unwrap();
             for (v, (a, b)) in r.states.iter().zip(&reference).enumerate() {
                 assert!((a - b).abs() < 1e-9, "{strat}: vertex {v}: {a} vs {b}");
             }
@@ -185,8 +199,13 @@ mod tests {
     fn ten_iterations_cost_eleven_supersteps_of_overhead() {
         let g = chain_with_hub();
         let pg = GraphXStrategy::RandomVertexCut.partition(&g, 2);
-        let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 10, &Default::default())
-            .unwrap();
+        let r = pagerank(
+            &pg,
+            &ClusterConfig::paper_cluster(),
+            10,
+            &Default::default(),
+        )
+        .unwrap();
         // Setup superstep + 10 iterations.
         assert_eq!(r.sim.supersteps, 11);
     }

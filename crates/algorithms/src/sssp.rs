@@ -79,8 +79,7 @@ impl VertexProgram for Sssp {
 
     fn send(&self, t: &Triplet<'_, Vec<u32>>) -> Messages<Vec<u32>> {
         // dst's distances, one hop further, offered to src.
-        let candidate: Vec<u32> =
-            t.dst_state.iter().map(|&d| d.saturating_add(1)).collect();
+        let candidate: Vec<u32> = t.dst_state.iter().map(|&d| d.saturating_add(1)).collect();
         if self.improved(&candidate, t.src_state) {
             Messages::ToSrc(candidate)
         } else {
@@ -154,8 +153,14 @@ mod tests {
             GraphXStrategy::DestinationCut,
         ] {
             let pg = strat.partition(&g, 8);
-            let r = sssp(&pg, &cluster(), landmarks.clone(), 10_000, &Default::default())
-                .unwrap();
+            let r = sssp(
+                &pg,
+                &cluster(),
+                landmarks.clone(),
+                10_000,
+                &Default::default(),
+            )
+            .unwrap();
             assert!(r.converged, "{strat}");
             assert_eq!(r.states, reference, "{strat}");
         }
@@ -167,10 +172,7 @@ mod tests {
         let g = Graph::new(4, (0..3).map(|v| Edge::new(v, v + 1)).collect());
         let pg = GraphXStrategy::SourceCut.partition(&g, 2);
         let r = sssp(&pg, &cluster(), vec![3], 100, &Default::default()).unwrap();
-        assert_eq!(
-            r.states,
-            vec![vec![3], vec![2], vec![1], vec![0]]
-        );
+        assert_eq!(r.states, vec![vec![3], vec![2], vec![1], vec![0]]);
     }
 
     #[test]
@@ -198,10 +200,22 @@ mod tests {
     fn more_landmarks_ship_more_bytes() {
         let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 8).symmetrized();
         let pg = GraphXStrategy::EdgePartition2D.partition(&g, 8);
-        let one = sssp(&pg, &cluster(), Sssp::pick_landmarks(256, 1, 1), 1000, &Default::default())
-            .unwrap();
-        let five = sssp(&pg, &cluster(), Sssp::pick_landmarks(256, 5, 1), 1000, &Default::default())
-            .unwrap();
+        let one = sssp(
+            &pg,
+            &cluster(),
+            Sssp::pick_landmarks(256, 1, 1),
+            1000,
+            &Default::default(),
+        )
+        .unwrap();
+        let five = sssp(
+            &pg,
+            &cluster(),
+            Sssp::pick_landmarks(256, 5, 1),
+            1000,
+            &Default::default(),
+        )
+        .unwrap();
         assert!(five.sim.remote_bytes > one.sim.remote_bytes);
     }
 }

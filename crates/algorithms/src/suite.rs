@@ -120,9 +120,7 @@ impl Algorithm {
                 max_iterations: 3,
             },
             Algorithm::Hits { .. } => Algorithm::Hits { iterations: 2 },
-            Algorithm::LabelPropagation { .. } => {
-                Algorithm::LabelPropagation { iterations: 2 }
-            }
+            Algorithm::LabelPropagation { .. } => Algorithm::LabelPropagation { iterations: 2 },
             Algorithm::KCore { .. } => Algorithm::KCore { iterations: 3 },
         }
     }
@@ -146,9 +144,9 @@ impl Algorithm {
     /// ships degree-sized estimate vectors (vertex-state-bound, like TR).
     pub fn class(&self) -> AlgorithmClass {
         match self {
-            Algorithm::Triangles
-            | Algorithm::LabelPropagation { .. }
-            | Algorithm::KCore { .. } => AlgorithmClass::VertexStateBound,
+            Algorithm::Triangles | Algorithm::LabelPropagation { .. } | Algorithm::KCore { .. } => {
+                AlgorithmClass::VertexStateBound
+            }
             _ => AlgorithmClass::EdgeBound,
         }
     }
@@ -199,8 +197,7 @@ impl Algorithm {
             } => {
                 let pg = partitioner.partition(graph, num_parts);
                 let metrics = PartitionMetrics::of(&pg);
-                let landmarks =
-                    Sssp::pick_landmarks(graph.num_vertices(), *num_landmarks, *seed);
+                let landmarks = Sssp::pick_landmarks(graph.num_vertices(), *num_landmarks, *seed);
                 let r = sssp(&pg, cluster, landmarks, *max_iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
@@ -213,9 +210,8 @@ impl Algorithm {
             Algorithm::LabelPropagation { iterations } => {
                 let pg = partitioner.partition(graph, num_parts);
                 let metrics = PartitionMetrics::of(&pg);
-                let r = crate::label_propagation::label_propagation(
-                    &pg, cluster, *iterations, &opts,
-                )?;
+                let r =
+                    crate::label_propagation::label_propagation(&pg, cluster, *iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
             Algorithm::KCore { iterations } => {

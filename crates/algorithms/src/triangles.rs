@@ -121,7 +121,8 @@ pub fn triangle_count_partitioned(
         let master_exec = cluster.executor_of(master);
         for &p in replicas {
             if p != master {
-                sim.ledger().send_exec(master_exec, cluster.executor_of(p), 1, bytes);
+                sim.ledger()
+                    .send_exec(master_exec, cluster.executor_of(p), 1, bytes);
             }
         }
     }
@@ -298,8 +299,8 @@ mod tests {
         );
         let tr = triangle_count(&g, &GraphXStrategy::RandomVertexCut, 16, &cluster()).unwrap();
         let pg = GraphXStrategy::RandomVertexCut.partition(&g, 16);
-        let cc = crate::cc::connected_components(&pg, &cluster(), 100, &Default::default())
-            .unwrap();
+        let cc =
+            crate::cc::connected_components(&pg, &cluster(), 100, &Default::default()).unwrap();
         // The paper's mechanism: TR ships *neighbour sets* (size ∝ degree)
         // while CC ships 8-byte labels — per message, TR is much fatter.
         let tr_per_msg = tr.sim.remote_bytes as f64 / tr.sim.messages as f64;

@@ -13,11 +13,9 @@ fn bench_metrics(c: &mut Criterion) {
         GraphXStrategy::DestinationCut,
     ] {
         let pg = strategy.partition(&graph, 128);
-        group.bench_with_input(
-            BenchmarkId::new(strategy.abbrev(), 128),
-            &pg,
-            |b, pg| b.iter(|| PartitionMetrics::of(pg)),
-        );
+        group.bench_with_input(BenchmarkId::new(strategy.abbrev(), 128), &pg, |b, pg| {
+            b.iter(|| PartitionMetrics::of(pg))
+        });
     }
     group.finish();
 }

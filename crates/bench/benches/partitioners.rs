@@ -22,11 +22,9 @@ fn bench_assign(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(graph.num_edges()));
     for partitioner in all_partitioners() {
-        group.bench_with_input(
-            BenchmarkId::new(partitioner.name(), 128),
-            &graph,
-            |b, g| b.iter(|| partitioner.assign_edges(g, 128)),
-        );
+        group.bench_with_input(BenchmarkId::new(partitioner.name(), 128), &graph, |b, g| {
+            b.iter(|| partitioner.assign_edges(g, 128))
+        });
     }
     group.finish();
 }

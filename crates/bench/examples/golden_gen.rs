@@ -7,7 +7,9 @@ fn main() {
     let mut acc = 0u64;
     for strategy in GraphXStrategy::all() {
         for (i, p) in strategy.assign_edges(&g, 128).into_iter().enumerate() {
-            acc = acc.rotate_left(7).wrapping_add(hash_pair(i as u64, p as u64));
+            acc = acc
+                .rotate_left(7)
+                .wrapping_add(hash_pair(i as u64, p as u64));
         }
     }
     println!("{acc:#x}");

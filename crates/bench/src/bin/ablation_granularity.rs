@@ -51,8 +51,7 @@ fn main() {
                 let mut best: Option<(&'static str, f64)> = None;
                 let mut worst = 0.0f64;
                 for strategy in GraphXStrategy::all() {
-                    let Ok(out) =
-                        algorithm.run(&graph, &strategy, np, &cluster, args.executor())
+                    let Ok(out) = algorithm.run(&graph, &strategy, np, &cluster, args.executor())
                     else {
                         continue;
                     };

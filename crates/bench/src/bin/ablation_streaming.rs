@@ -53,10 +53,15 @@ fn main() {
         for partitioner in all_partitioners() {
             let pg = partitioner.partition(&graph, np);
             let m = PartitionMetrics::of(&pg);
-            let pr = cutfit_core::algorithms::pagerank(&pg, &cluster, 10, &PregelConfig {
-                executor: args.executor(),
-                ..Default::default()
-            })
+            let pr = cutfit_core::algorithms::pagerank(
+                &pg,
+                &cluster,
+                10,
+                &PregelConfig {
+                    executor: args.executor(),
+                    ..Default::default()
+                },
+            )
             .expect("PageRank fits in memory");
             t.row([
                 partitioner.name().to_string(),

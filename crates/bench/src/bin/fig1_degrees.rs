@@ -33,13 +33,27 @@ fn main() {
                 profile.name, stats.max_in_degree, stats.max_out_degree
             );
         }
-        let mut t = AsciiTable::new(["direction", "degree>=", "degree<", "vertices"])
-            .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+        let mut t = AsciiTable::new(["direction", "degree>=", "degree<", "vertices"]).aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
         for (lo, hi, count) in hist_in.series() {
-            t.row(["in".to_string(), lo.to_string(), hi.to_string(), count.to_string()]);
+            t.row([
+                "in".to_string(),
+                lo.to_string(),
+                hi.to_string(),
+                count.to_string(),
+            ]);
         }
         for (lo, hi, count) in hist_out.series() {
-            t.row(["out".to_string(), lo.to_string(), hi.to_string(), count.to_string()]);
+            t.row([
+                "out".to_string(),
+                lo.to_string(),
+                hi.to_string(),
+                count.to_string(),
+            ]);
         }
         emit(&t, args.csv);
     }

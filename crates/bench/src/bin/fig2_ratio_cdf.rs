@@ -41,8 +41,8 @@ fn main() {
     for profile in args.profiles() {
         let graph = profile.generate(args.scale, args.seed);
         let ratios = degree_ratio_series(&graph);
-        let infinite = ratios.iter().filter(|r| r.is_infinite()).count() as f64
-            / ratios.len().max(1) as f64;
+        let infinite =
+            ratios.iter().filter(|r| r.is_infinite()).count() as f64 / ratios.len().max(1) as f64;
         let cdf = Cdf::new(ratios);
         let fmt = |x: f64| format!("{:.3}", x);
         t.row([

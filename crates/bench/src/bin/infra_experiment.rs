@@ -55,9 +55,12 @@ fn main() {
         Align::Right,
         Align::Right,
     ]);
-    let mut spread = AsciiTable::new(["config", "best", "worst", "partitioner payoff"]).aligns(
-        &[Align::Left, Align::Right, Align::Right, Align::Right],
-    );
+    let mut spread = AsciiTable::new(["config", "best", "worst", "partitioner payoff"]).aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
 
     let mut baseline: Option<f64> = None;
     for cluster in &configs {
@@ -89,10 +92,7 @@ fn main() {
             cluster.name.clone(),
             human_seconds(best.1.total_seconds),
             human_seconds(worst_t),
-            format!(
-                "{:.1}%",
-                (worst_t - best.1.total_seconds) / worst_t * 100.0
-            ),
+            format!("{:.1}%", (worst_t - best.1.total_seconds) / worst_t * 100.0),
         ]);
     }
     emit(&t, args.csv);

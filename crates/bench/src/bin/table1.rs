@@ -20,8 +20,16 @@ fn main() {
     args.banner("Table 1: characterization of datasets");
 
     let mut t = AsciiTable::new([
-        "Dataset", "Vertices", "Edges", "Symm", "ZeroIn%", "ZeroOut%", "Triangles",
-        "Conn.Comp.", "Diameter", "Size",
+        "Dataset",
+        "Vertices",
+        "Edges",
+        "Symm",
+        "ZeroIn%",
+        "ZeroOut%",
+        "Triangles",
+        "Conn.Comp.",
+        "Diameter",
+        "Size",
     ])
     .aligns(&[
         Align::Left,
@@ -57,19 +65,92 @@ fn main() {
     if !args.csv {
         println!("paper values at full scale (for shape comparison):");
         let mut p = AsciiTable::new([
-            "Dataset", "Vertices", "Edges", "Symm", "ZeroIn%", "ZeroOut%", "Triangles",
-            "Conn.Comp.", "Diameter",
+            "Dataset",
+            "Vertices",
+            "Edges",
+            "Symm",
+            "ZeroIn%",
+            "ZeroOut%",
+            "Triangles",
+            "Conn.Comp.",
+            "Diameter",
         ]);
         for row in [
-            ["RoadNet-PA", "1.0M", "3.0M", "100.00", "0.00", "0.00", "67.1K", "1052", "inf"],
-            ["YouTube", "1.1M", "2.9M", "100.00", "0.00", "0.00", "3.0M", "1", "20"],
-            ["RoadNet-TX", "1.3M", "3.8M", "100.00", "0.00", "0.00", "82.8K", "1766", "inf"],
-            ["Pocek", "1.6M", "30.6M", "54.34", "6.94", "12.25", "32.5M", "1", "11"],
-            ["RoadNet-CA", "1.9M", "5.5M", "100.00", "0.00", "0.00", "120.6K", "1052", "inf"],
-            ["Orkut", "3.0M", "117.1M", "100.00", "0.00", "0.00", "627.5M", "1", "9"],
-            ["socLiveJournal", "4.8M", "68.9M", "75.03", "7.39", "11.12", "285.7M", "1876", "inf"],
-            ["follow-jul", "17.1M", "136.7M", "37.57", "46.94", "25.65", "4.8B", "52", "inf"],
-            ["follow-dec", "26.3M", "204.9M", "37.57", "55.05", "18.34", "7.6B", "47", "inf"],
+            [
+                "RoadNet-PA",
+                "1.0M",
+                "3.0M",
+                "100.00",
+                "0.00",
+                "0.00",
+                "67.1K",
+                "1052",
+                "inf",
+            ],
+            [
+                "YouTube", "1.1M", "2.9M", "100.00", "0.00", "0.00", "3.0M", "1", "20",
+            ],
+            [
+                "RoadNet-TX",
+                "1.3M",
+                "3.8M",
+                "100.00",
+                "0.00",
+                "0.00",
+                "82.8K",
+                "1766",
+                "inf",
+            ],
+            [
+                "Pocek", "1.6M", "30.6M", "54.34", "6.94", "12.25", "32.5M", "1", "11",
+            ],
+            [
+                "RoadNet-CA",
+                "1.9M",
+                "5.5M",
+                "100.00",
+                "0.00",
+                "0.00",
+                "120.6K",
+                "1052",
+                "inf",
+            ],
+            [
+                "Orkut", "3.0M", "117.1M", "100.00", "0.00", "0.00", "627.5M", "1", "9",
+            ],
+            [
+                "socLiveJournal",
+                "4.8M",
+                "68.9M",
+                "75.03",
+                "7.39",
+                "11.12",
+                "285.7M",
+                "1876",
+                "inf",
+            ],
+            [
+                "follow-jul",
+                "17.1M",
+                "136.7M",
+                "37.57",
+                "46.94",
+                "25.65",
+                "4.8B",
+                "52",
+                "inf",
+            ],
+            [
+                "follow-dec",
+                "26.3M",
+                "204.9M",
+                "37.57",
+                "55.05",
+                "18.34",
+                "7.6B",
+                "47",
+                "inf",
+            ],
         ] {
             p.row(row);
         }

@@ -1,9 +1,13 @@
 //! Shared plumbing for the table/figure regeneration binaries.
 //!
 //! Every binary in `src/bin/` reproduces one table or figure of the paper;
-//! this library provides their common command-line handling and report
-//! formatting. Run any binary with `--help` for its options; all accept
-//! `--scale`, `--seed`, `--parts`, `--datasets`, `--threads`, and `--csv`.
+//! this library provides their common command-line handling ([`BenchArgs`]),
+//! figure rendering ([`figure`]), and metrics-table formatting
+//! ([`metrics_table`]). Run any binary with `--help` for its options; all
+//! accept `--scale`, `--seed`, `--parts`, `--datasets`, `--threads`, and
+//! `--csv`. Micro-benchmarks live under `benches/` and run with
+//! `cargo bench` (through the offline criterion shim in
+//! `crates/shims/criterion`).
 
 pub mod figure;
 pub mod metrics_table;

@@ -208,8 +208,17 @@ mod tests {
     #[test]
     fn flags_override() {
         let a = parse(&[
-            "--scale", "0.5", "--seed", "7", "--parts", "8,16", "--csv", "--threads", "4",
-            "--datasets", "Orkut,Pocek",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--parts",
+            "8,16",
+            "--csv",
+            "--threads",
+            "4",
+            "--datasets",
+            "Orkut,Pocek",
         ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);

@@ -177,20 +177,17 @@ impl ClusterSim {
 
         // --- Serialization: CPU-side encode/decode of shuffled bytes,
         //     parallelised over cores; unaffected by NIC speed. ---
-        let shuffle_bytes =
-            self.ledger.remote_bytes() + self.ledger.local_shuffle_bytes();
-        let ser_secs = (shuffle_bytes as f64 / cfg.executors as f64) * cost.ser_ns_per_byte
-            * 1e-9
+        let shuffle_bytes = self.ledger.remote_bytes() + self.ledger.local_shuffle_bytes();
+        let ser_secs = (shuffle_bytes as f64 / cfg.executors as f64) * cost.ser_ns_per_byte * 1e-9
             / cfg.cores_per_executor as f64;
         let compute_secs = compute_secs + ser_secs;
 
         // --- Storage: the synchronous share of shuffle spill (write then
         //     read); the rest rides the page cache. ---
         let storage_secs = if cost.shuffle_through_storage && shuffle_bytes > 0 {
-            let per_exec = shuffle_bytes as f64 * cost.shuffle_storage_fraction
-                / cfg.executors as f64;
-            per_exec / (cfg.storage.write_mbps() * 1e6)
-                + per_exec / (cfg.storage.read_mbps() * 1e6)
+            let per_exec =
+                shuffle_bytes as f64 * cost.shuffle_storage_fraction / cfg.executors as f64;
+            per_exec / (cfg.storage.write_mbps() * 1e6) + per_exec / (cfg.storage.read_mbps() * 1e6)
         } else {
             0.0
         };
@@ -202,8 +199,7 @@ impl ClusterSim {
         self.report.supersteps += 1;
         let shuffle_per_exec = shuffle_bytes as f64 / cfg.executors as f64;
         let capacity_gb = cfg.executor_memory_gb * cfg.usable_memory_fraction;
-        let lineage_fixed =
-            cfg.executor_memory_gb * 1e9 * cost.lineage_heap_fraction_per_superstep;
+        let lineage_fixed = cfg.executor_memory_gb * 1e9 * cost.lineage_heap_fraction_per_superstep;
         let mut oom: Option<SimError> = None;
         for exec in 0..cfg.executors as usize {
             // Lineage growth: the in-memory share of retained shuffle data,
@@ -385,10 +381,7 @@ mod tests {
             sim.ledger().send_exec(0, 1, 1_000, 10_000_000);
             sim.end_superstep().unwrap();
         }
-        assert_eq!(
-            slow.report().compute_seconds,
-            fast.report().compute_seconds
-        );
+        assert_eq!(slow.report().compute_seconds, fast.report().compute_seconds);
         assert!(slow.report().network_seconds > fast.report().network_seconds);
     }
 

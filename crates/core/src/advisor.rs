@@ -260,11 +260,7 @@ mod tests {
 
     #[test]
     fn vertex_state_bound_uses_cut_metric() {
-        let r = Advisor::default().recommend(
-            AlgorithmClass::VertexStateBound,
-            &small_graph(),
-            256,
-        );
+        let r = Advisor::default().recommend(AlgorithmClass::VertexStateBound, &small_graph(), 256);
         assert_eq!(r.metric, MetricKind::Cut);
     }
 

@@ -113,7 +113,11 @@ impl ExperimentResult {
     /// The fastest partitioner per dataset at `num_parts`.
     pub fn best_per_dataset(&self, num_parts: PartId) -> Vec<(&'static str, &'static str, f64)> {
         let mut datasets: Vec<&'static str> = Vec::new();
-        for o in self.observations.iter().filter(|o| o.num_parts == num_parts) {
+        for o in self
+            .observations
+            .iter()
+            .filter(|o| o.num_parts == num_parts)
+        {
             if !datasets.contains(&o.dataset) {
                 datasets.push(o.dataset);
             }
@@ -123,11 +127,7 @@ impl ExperimentResult {
             .filter_map(|d| {
                 self.at(num_parts)
                     .filter(|o| o.dataset == d)
-                    .min_by(|a, b| {
-                        a.time_s
-                            .partial_cmp(&b.time_s)
-                            .expect("times are finite")
-                    })
+                    .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"))
                     .map(|o| (d, o.partitioner, o.time_s.expect("filtered")))
             })
             .collect()
@@ -195,8 +195,7 @@ pub fn run_experiment(algorithm: &Algorithm, config: &ExperimentConfig) -> Exper
                 } else {
                     config.cluster.clone()
                 };
-                let outcome =
-                    algorithm.run(&graph, &strategy, np, &cluster, config.executor);
+                let outcome = algorithm.run(&graph, &strategy, np, &cluster, config.executor);
                 let obs = match outcome {
                     Ok(out) => Observation {
                         dataset: profile.name,
@@ -209,8 +208,7 @@ pub fn run_experiment(algorithm: &Algorithm, config: &ExperimentConfig) -> Exper
                     },
                     Err(e) => {
                         // Metrics are still well-defined for a failed run.
-                        let metrics =
-                            PartitionMetrics::of(&strategy.partition(&graph, np));
+                        let metrics = PartitionMetrics::of(&strategy.partition(&graph, np));
                         Observation {
                             dataset: profile.name,
                             partitioner: strategy.abbrev(),
@@ -266,14 +264,22 @@ mod tests {
     #[test]
     fn correlation_is_computable_and_strongish() {
         let r = run_experiment(&Algorithm::PageRank { iterations: 3 }, &tiny_config());
-        let corr = r.correlation(MetricKind::CommCost, 8).expect("enough points");
-        assert!(corr > 0.0, "more communication should cost more time: {corr}");
+        let corr = r
+            .correlation(MetricKind::CommCost, 8)
+            .expect("enough points");
+        assert!(
+            corr > 0.0,
+            "more communication should cost more time: {corr}"
+        );
         assert!(r.rank_correlation(MetricKind::CommCost, 8).is_some());
     }
 
     #[test]
     fn best_per_dataset_lists_each_once() {
-        let r = run_experiment(&Algorithm::ConnectedComponents { max_iterations: 10 }, &tiny_config());
+        let r = run_experiment(
+            &Algorithm::ConnectedComponents { max_iterations: 10 },
+            &tiny_config(),
+        );
         let best = r.best_per_dataset(16);
         assert_eq!(best.len(), 2);
         let names: Vec<&str> = best.iter().map(|(d, _, _)| *d).collect();

@@ -23,9 +23,7 @@ pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Observa
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::advisor::{Advisor, GranularityHint, MeasuredChoice, Recommendation};
-    pub use crate::experiment::{
-        run_experiment, ExperimentConfig, ExperimentResult, Observation,
-    };
+    pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, Observation};
     pub use cutfit_algorithms::{
         connected_components, pagerank, sssp, triangle_count, Algorithm, AlgorithmClass,
     };

@@ -151,18 +151,17 @@ pub fn crawl_graph(config: &CrawlConfig, seed: u64) -> Graph {
             let (t, back_p) = if rng.bernoulli(config.peer_fraction) {
                 // Triadic closure: with probability `peer_triad_p`, follow a
                 // friend of an existing friend instead of a fresh sample.
-                let target = if rng.bernoulli(config.peer_triad_p)
-                    && !peer_adj[a as usize].is_empty()
-                {
-                    let via = *rng.choose(&peer_adj[a as usize]);
-                    if peer_adj[via as usize].is_empty() {
-                        peers.sample(&mut rng) as u64
+                let target =
+                    if rng.bernoulli(config.peer_triad_p) && !peer_adj[a as usize].is_empty() {
+                        let via = *rng.choose(&peer_adj[a as usize]);
+                        if peer_adj[via as usize].is_empty() {
+                            peers.sample(&mut rng) as u64
+                        } else {
+                            *rng.choose(&peer_adj[via as usize]) as u64
+                        }
                     } else {
-                        *rng.choose(&peer_adj[via as usize]) as u64
-                    }
-                } else {
-                    peers.sample(&mut rng) as u64
-                };
+                        peers.sample(&mut rng) as u64
+                    };
                 if target < na && target != a {
                     peer_adj[a as usize].push(target as u32);
                 }
@@ -188,8 +187,7 @@ pub fn crawl_graph(config: &CrawlConfig, seed: u64) -> Graph {
             continue;
         }
         for _ in 0..follower_deg[a as usize] {
-            let s = audience_base
-                + spread(audience.sample(&mut rng) as u64, config.audience_zone);
+            let s = audience_base + spread(audience.sample(&mut rng) as u64, config.audience_zone);
             edges.push(Edge::new(s, a));
             if rng.bernoulli(config.stranger_p) {
                 edges.push(Edge::new(a, s));
@@ -261,7 +259,10 @@ mod tests {
             seen[e.src as usize] = true;
             seen[e.dst as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "first-touch relabel leaves no gaps");
+        assert!(
+            seen.iter().all(|&s| s),
+            "first-touch relabel leaves no gaps"
+        );
     }
 
     #[test]

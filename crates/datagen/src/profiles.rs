@@ -459,7 +459,11 @@ mod tests {
         let g = DatasetProfile::follow_dec().generate(SCALE, 7);
         let stats = DegreeStats::of(&g);
         assert!(stats.zero_in_fraction > 0.25, "{}", stats.zero_in_fraction);
-        assert!(stats.zero_out_fraction > 0.05, "{}", stats.zero_out_fraction);
+        assert!(
+            stats.zero_out_fraction > 0.05,
+            "{}",
+            stats.zero_out_fraction
+        );
         let road = DatasetProfile::road_net_pa().generate(SCALE, 7);
         let rstats = DegreeStats::of(&road);
         assert_eq!(rstats.zero_in_fraction, rstats.zero_out_fraction);

@@ -17,8 +17,9 @@ use cutfit_util::Xoshiro256pp;
 pub fn first_touch_relabel(edges: &[Edge]) -> (Vec<Edge>, u64) {
     let mut map = std::collections::HashMap::new();
     let mut next: VertexId = 0;
-    let intern = |v: VertexId, map: &mut std::collections::HashMap<VertexId, VertexId>,
-                      next: &mut VertexId| {
+    let intern = |v: VertexId,
+                  map: &mut std::collections::HashMap<VertexId, VertexId>,
+                  next: &mut VertexId| {
         *map.entry(v).or_insert_with(|| {
             let id = *next;
             *next += 1;
@@ -122,10 +123,7 @@ mod tests {
 
     #[test]
     fn bfs_relabel_is_permutation() {
-        let g = Graph::new(
-            6,
-            vec![Edge::new(5, 3), Edge::new(3, 1), Edge::new(0, 2)],
-        );
+        let g = Graph::new(6, vec![Edge::new(5, 3), Edge::new(3, 1), Edge::new(0, 2)]);
         let b = bfs_relabel(&g);
         assert_eq!(b.num_vertices(), 6);
         assert_eq!(b.num_edges(), 3);
@@ -143,11 +141,7 @@ mod tests {
     fn bfs_relabel_gives_adjacent_ids_to_neighbors() {
         // Path 0-1-2-3-4 shuffled, then BFS-relabelled: neighbouring IDs
         // should end up numerically close again.
-        let path = Graph::new(
-            5,
-            (0..4).map(|v| Edge::new(v, v + 1)).collect(),
-        )
-        .symmetrized();
+        let path = Graph::new(5, (0..4).map(|v| Edge::new(v, v + 1)).collect()).symmetrized();
         let shuffled = shuffle_ids(&path, 9);
         let relabeled = bfs_relabel(&shuffled);
         let max_gap = relabeled
@@ -156,6 +150,9 @@ mod tests {
             .map(|e| e.src.abs_diff(e.dst))
             .max()
             .unwrap();
-        assert!(max_gap <= 2, "BFS order keeps path IDs close, gap {max_gap}");
+        assert!(
+            max_gap <= 2,
+            "BFS order keeps path IDs close, gap {max_gap}"
+        );
     }
 }

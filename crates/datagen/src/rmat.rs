@@ -133,6 +133,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(rmat(&RmatConfig::default(), 5), rmat(&RmatConfig::default(), 5));
+        assert_eq!(
+            rmat(&RmatConfig::default(), 5),
+            rmat(&RmatConfig::default(), 5)
+        );
     }
 }

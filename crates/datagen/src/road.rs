@@ -113,9 +113,7 @@ pub fn road_network(config: &RoadNetworkConfig, seed: u64) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cutfit_graph::analysis::{
-        count_triangles, reciprocity, weakly_connected_components,
-    };
+    use cutfit_graph::analysis::{count_triangles, reciprocity, weakly_connected_components};
 
     fn sample() -> Graph {
         road_network(&RoadNetworkConfig::with_vertices(10_000), 42)
@@ -157,7 +155,10 @@ mod tests {
         let g = sample();
         let t = count_triangles(&g);
         let per_vertex = t as f64 / g.num_vertices() as f64;
-        assert!(per_vertex < 0.3, "roads are nearly triangle-free: {per_vertex}");
+        assert!(
+            per_vertex < 0.3,
+            "roads are nearly triangle-free: {per_vertex}"
+        );
         assert!(t > 0, "diagonals create some triangles");
     }
 

@@ -57,10 +57,10 @@ pub fn undirected_social(config: &UndirectedSocialConfig, seed: u64) -> Graph {
     let mut endpoints: Vec<u32> = Vec::with_capacity((n as f64 * m * 2.2) as usize);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
     let connect = |a: u32,
-                       b: u32,
-                       builder: &mut GraphBuilder,
-                       endpoints: &mut Vec<u32>,
-                       adj: &mut Vec<Vec<u32>>| {
+                   b: u32,
+                   builder: &mut GraphBuilder,
+                   endpoints: &mut Vec<u32>,
+                   adj: &mut Vec<Vec<u32>>| {
         builder.add_edge(a as u64, b as u64);
         endpoints.push(a);
         endpoints.push(b);
@@ -84,8 +84,8 @@ pub fn undirected_social(config: &UndirectedSocialConfig, seed: u64) -> Graph {
             attempts += 1;
             let candidate = match prev {
                 // Triad step: befriend a friend of the previous pick.
-                Some(p) if rng.bernoulli(config.triad_probability)
-                    && !adj[p as usize].is_empty() =>
+                Some(p)
+                    if rng.bernoulli(config.triad_probability) && !adj[p as usize].is_empty() =>
                 {
                     *rng.choose(&adj[p as usize])
                 }
@@ -184,8 +184,7 @@ pub fn directed_social(config: &DirectedSocialConfig, seed: u64) -> Graph {
 
     for v in 0..n {
         for _ in 0..degrees[v as usize] {
-            let t = if rng.bernoulli(config.triad_probability) && !out_adj[v as usize].is_empty()
-            {
+            let t = if rng.bernoulli(config.triad_probability) && !out_adj[v as usize].is_empty() {
                 let w = *rng.choose(&out_adj[v as usize]);
                 if out_adj[w as usize].is_empty() {
                     zipf.sample(&mut rng) as u64
@@ -303,10 +302,7 @@ mod tests {
                 5,
             );
             let r = reciprocity(&g);
-            assert!(
-                (r - target).abs() < 0.08,
-                "target {target}, measured {r}"
-            );
+            assert!((r - target).abs() < 0.08, "target {target}, measured {r}");
         }
     }
 

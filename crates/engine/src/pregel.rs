@@ -120,7 +120,8 @@ pub fn run_pregel<P: VertexProgram>(
             let master_exec = cluster.executor_of(home);
             for &p in replicas {
                 if p != home {
-                    sim.ledger().send_exec(master_exec, cluster.executor_of(p), 1, bytes);
+                    sim.ledger()
+                        .send_exec(master_exec, cluster.executor_of(p), 1, bytes);
                 }
             }
         }
@@ -133,7 +134,15 @@ pub fn run_pregel<P: VertexProgram>(
     let mut converged = false;
     while supersteps < opts.max_iterations {
         // 1. Scan: per-partition pre-aggregated messages.
-        let partials = scan_all(program, pg, &states, &active, &out_deg, &in_deg, opts.executor);
+        let partials = scan_all(
+            program,
+            pg,
+            &states,
+            &active,
+            &out_deg,
+            &in_deg,
+            opts.executor,
+        );
 
         // 2. Shuffle partials to masters, merging in partition order.
         let mut inbox: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
@@ -183,7 +192,8 @@ pub fn run_pregel<P: VertexProgram>(
             let master_exec = cluster.executor_of(master);
             for &p in pg.routing().parts_of(vid) {
                 if p != master {
-                    sim.ledger().send_exec(master_exec, cluster.executor_of(p), 1, bytes);
+                    sim.ledger()
+                        .send_exec(master_exec, cluster.executor_of(p), 1, bytes);
                 }
             }
         }
@@ -251,11 +261,10 @@ fn scan_all<P: VertexProgram>(
             if chunk == 0 {
                 return Vec::new();
             }
-            crossbeam::thread::scope(|scope| {
-                for (part_chunk, result_chunk) in
-                    parts.chunks(chunk).zip(results.chunks_mut(chunk))
+            std::thread::scope(|scope| {
+                for (part_chunk, result_chunk) in parts.chunks(chunk).zip(results.chunks_mut(chunk))
                 {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (part, slot) in part_chunk.iter().zip(result_chunk.iter_mut()) {
                             *slot = Some(scan_partition(
                                 program, part, states, active, out_deg, in_deg,
@@ -263,9 +272,11 @@ fn scan_all<P: VertexProgram>(
                         }
                     });
                 }
-            })
-            .expect("scan worker panicked");
-            results.into_iter().map(|r| r.expect("all scanned")).collect()
+            });
+            results
+                .into_iter()
+                .map(|r| r.expect("all scanned"))
+                .collect()
         }
     }
 }

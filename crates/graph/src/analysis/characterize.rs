@@ -1,9 +1,7 @@
 //! One-call dataset characterization — the full Table 1 row for a graph.
 
 use crate::analysis::bfs::{estimate_diameter, Diameter};
-use crate::analysis::components::{
-    strongly_connected_components, weakly_connected_components,
-};
+use crate::analysis::components::{strongly_connected_components, weakly_connected_components};
 use crate::analysis::degrees::DegreeStats;
 use crate::analysis::reciprocity::reciprocity;
 use crate::analysis::triangles::count_triangles;
@@ -81,8 +79,8 @@ mod tests {
 
     #[test]
     fn characterize_triangle_graph() {
-        let g = Graph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)])
-            .symmetrized();
+        let g =
+            Graph::new(3, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]).symmetrized();
         let c = characterize(&g, 4);
         assert_eq!(c.vertices, 3);
         assert_eq!(c.edges, 6);

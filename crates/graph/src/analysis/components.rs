@@ -150,8 +150,7 @@ pub fn strongly_connected_components(graph: &Graph) -> ComponentLabels {
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v roots an SCC: pop it off the Tarjan stack.
@@ -179,10 +178,7 @@ mod tests {
     #[test]
     fn wcc_counts_components() {
         // {0,1,2} connected, {3,4} connected, {5} isolated.
-        let g = Graph::new(
-            6,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)],
-        );
+        let g = Graph::new(6, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)]);
         let cc = weakly_connected_components(&g);
         assert_eq!(cc.count, 3);
         assert_eq!(cc.labels[0], 0);
@@ -213,10 +209,7 @@ mod tests {
     #[test]
     fn scc_mixed() {
         // Cycle {0,1} plus tail 2 -> 0 and dangling 3.
-        let g = Graph::new(
-            4,
-            vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(2, 0)],
-        );
+        let g = Graph::new(4, vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(2, 0)]);
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.count, 3);
         assert_eq!(scc.labels[0], scc.labels[1]);
@@ -225,11 +218,8 @@ mod tests {
 
     #[test]
     fn scc_agrees_with_wcc_on_symmetric_graphs() {
-        let g = Graph::new(
-            7,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 5)],
-        )
-        .symmetrized();
+        let g =
+            Graph::new(7, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 5)]).symmetrized();
         assert_eq!(
             strongly_connected_components(&g).count,
             weakly_connected_components(&g).count

@@ -42,9 +42,8 @@ pub fn count_triangles(graph: &Graph) -> u64 {
         // merge-intersection below stays valid.
         fwd[fwd_offsets[v as usize] as usize..pos].sort_unstable();
     }
-    let fwd_of = |v: VertexId| {
-        &fwd[fwd_offsets[v as usize] as usize..fwd_offsets[v as usize + 1] as usize]
-    };
+    let fwd_of =
+        |v: VertexId| &fwd[fwd_offsets[v as usize] as usize..fwd_offsets[v as usize + 1] as usize];
 
     let mut triangles = 0u64;
     for v in 0..n {

@@ -110,10 +110,7 @@ impl GraphBuilder {
             self.edges.sort_unstable();
             self.edges.dedup();
         }
-        let n = self
-            .max_id
-            .map_or(0, |m| m + 1)
-            .max(self.min_vertices);
+        let n = self.max_id.map_or(0, |m| m + 1).max(self.min_vertices);
         Graph::new_unchecked(n, self.edges)
     }
 }

@@ -2,11 +2,9 @@
 
 use cutfit_graph::analysis::{
     bfs::{estimate_diameter, exact_diameter, Diameter},
-    count_triangles,
-    strongly_connected_components,
+    count_triangles, strongly_connected_components,
     triangles::count_triangles_brute_force,
-    weakly_connected_components,
-    DegreeStats,
+    weakly_connected_components, DegreeStats,
 };
 use cutfit_graph::{Csr, Edge, Graph};
 use proptest::prelude::*;

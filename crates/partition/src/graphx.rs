@@ -230,7 +230,10 @@ mod tests {
         for strat in GraphXStrategy::all() {
             assert_eq!(GraphXStrategy::by_abbrev(strat.abbrev()), Some(strat));
         }
-        assert_eq!(GraphXStrategy::by_abbrev("2d"), Some(GraphXStrategy::EdgePartition2D));
+        assert_eq!(
+            GraphXStrategy::by_abbrev("2d"),
+            Some(GraphXStrategy::EdgePartition2D)
+        );
         assert_eq!(GraphXStrategy::by_abbrev("nope"), None);
     }
 

@@ -146,7 +146,11 @@ impl PartitionMetrics {
             vertices_to_same: vertices_present,
             vertices_to_other: total_replicas - vertices_present,
             max_part_edges: summary.max as u64,
-            min_part_edges: if summary.count == 0 { 0 } else { summary.min as u64 },
+            min_part_edges: if summary.count == 0 {
+                0
+            } else {
+                summary.min as u64
+            },
         }
     }
 

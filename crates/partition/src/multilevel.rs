@@ -198,9 +198,7 @@ impl WeightedGraph {
             let internal = weight_to.get(&current).copied().unwrap_or(0);
             let best = weight_to
                 .iter()
-                .filter(|&(&p, _)| {
-                    p != current && loads[p as usize] + self.vweight[v] <= cap
-                })
+                .filter(|&(&p, _)| p != current && loads[p as usize] + self.vweight[v] <= cap)
                 .max_by_key(|&(&p, &wt)| (wt, std::cmp::Reverse(p)));
             if let Some((&p, &wt)) = best {
                 if wt > internal {

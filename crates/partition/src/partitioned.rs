@@ -109,10 +109,8 @@ impl PartitionedGraph {
         }
 
         // Pass 2: bucket global edges per partition.
-        let mut global_edges: Vec<Vec<(VertexId, VertexId)>> = counts
-            .iter()
-            .map(|&c| Vec::with_capacity(c))
-            .collect();
+        let mut global_edges: Vec<Vec<(VertexId, VertexId)>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (e, &p) in graph.edges().iter().zip(assignment) {
             global_edges[p as usize].push((e.src, e.dst));
         }

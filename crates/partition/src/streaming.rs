@@ -92,14 +92,19 @@ impl Partitioner for GreedyVertexCut {
                 let b = &replicas[d];
                 let ok = |p: &PartId| loads[*p as usize] < cap;
                 let common = least_loaded(
-                    a.iter().filter(|p| b.contains(p)).filter(|p| ok(p)).copied(),
+                    a.iter()
+                        .filter(|p| b.contains(p))
+                        .filter(|p| ok(p))
+                        .copied(),
                     &loads,
                 );
                 match common {
                     Some(p) => p,
                     None => {
-                        let union =
-                            least_loaded(a.iter().chain(b.iter()).filter(|p| ok(p)).copied(), &loads);
+                        let union = least_loaded(
+                            a.iter().chain(b.iter()).filter(|p| ok(p)).copied(),
+                            &loads,
+                        );
                         match union {
                             Some(p) => p,
                             None => least_loaded(0..num_parts, &loads).expect("parts exist"),
@@ -259,9 +264,7 @@ impl Partitioner for SourceRangeCut {
 }
 
 fn least_loaded<I: IntoIterator<Item = PartId>>(parts: I, loads: &[u64]) -> Option<PartId> {
-    parts
-        .into_iter()
-        .min_by_key(|&p| (loads[p as usize], p))
+    parts.into_iter().min_by_key(|&p| (loads[p as usize], p))
 }
 
 fn insert_sorted(v: &mut Vec<PartId>, p: PartId) {
@@ -311,8 +314,7 @@ mod tests {
         // chain, yielding far fewer cut vertices than random.
         let g = Graph::new(101, (0..100).map(|v| Edge::new(v, v + 1)).collect());
         let greedy = PartitionMetrics::of(&GreedyVertexCut::default().partition(&g, 8));
-        let random =
-            PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 8));
+        let random = PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 8));
         assert!(
             greedy.comm_cost < random.comm_cost,
             "greedy {} vs random {}",
@@ -325,8 +327,7 @@ mod tests {
     fn hdrf_beats_random_on_replication() {
         let g = skewed();
         let hdrf = PartitionMetrics::of(&Hdrf::default().partition(&g, 16));
-        let random =
-            PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 16));
+        let random = PartitionMetrics::of(&GraphXStrategy::RandomVertexCut.partition(&g, 16));
         assert!(
             hdrf.replication_factor < random.replication_factor,
             "hdrf {} vs random {}",
@@ -410,7 +411,10 @@ mod tests {
     #[test]
     fn streaming_partitioners_are_deterministic() {
         let g = skewed();
-        assert_eq!(Hdrf::default().assign_edges(&g, 8), Hdrf::default().assign_edges(&g, 8));
+        assert_eq!(
+            Hdrf::default().assign_edges(&g, 8),
+            Hdrf::default().assign_edges(&g, 8)
+        );
         assert_eq!(
             GreedyVertexCut::default().assign_edges(&g, 8),
             GreedyVertexCut::default().assign_edges(&g, 8)

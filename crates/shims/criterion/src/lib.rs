@@ -1,0 +1,267 @@
+//! Minimal offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds in environments with no access to crates.io, so the
+//! micro-benchmarks under `crates/bench/benches/` link against this shim
+//! instead of the real crate. It exposes the subset of criterion's API the
+//! benches use — [`Criterion::benchmark_group`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with wall-clock timing
+//! and no statistical analysis. Swapping the `criterion` entry in the root
+//! `Cargo.toml` back to the real crate requires no source changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on measurement time per benchmark, so `cargo bench` stays
+/// interactive even for expensive bodies.
+const MAX_MEASURE: Duration = Duration::from_millis(500);
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // `cargo test`/`cargo bench` pass harness flags (`--test`, `--bench`,
+        // filters); in test mode run each body once so tests stay fast.
+        let quick = std::env::args().any(|a| a == "--test");
+        Self { quick }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one("", &id.to_string(), self.quick, None, &mut f);
+    }
+}
+
+/// Throughput annotation attached to a group; reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id such as `threads/4` from a name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.name,
+            self.quick,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.quick,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle handed to each benchmark body.
+pub struct Bencher {
+    quick: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, black-boxing its output.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let budget = if self.quick {
+            Duration::ZERO
+        } else {
+            MAX_MEASURE
+        };
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    quick: bool,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        quick,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().expect("non-empty");
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let rate = throughput.map_or(String::new(), |t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        format!("  {} {unit}", si(count as f64 / min.as_secs_f64()))
+    });
+    println!(
+        "{label:<50} min {:>12?}  mean {:>12?}  ({} samples){rate}",
+        min,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Compact SI formatting for throughput rates (e.g. "18.4M").
+fn si(x: f64) -> String {
+    match x {
+        x if x >= 1e9 => format!("{:.2}G", x / 1e9),
+        x if x >= 1e6 => format!("{:.2}M", x / 1e6),
+        x if x >= 1e3 => format!("{:.2}k", x / 1e3),
+        _ => format!("{x:.1}"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::__new_criterion();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::from_args()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            quick: true,
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(!b.samples.is_empty());
+        assert!(n >= 2, "warm-up plus at least one timed run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("threads", 4).name, "threads/4");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

@@ -42,8 +42,7 @@ impl Cdf {
             return None;
         }
         let p = p.clamp(0.0, 1.0);
-        let k = ((p * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         Some(self.sorted[k - 1])
     }
 

@@ -3,8 +3,9 @@
 //! The paper's headline results are *correlation coefficients* between
 //! execution time and partitioning metrics (Figures 3–6), plus degree
 //! distributions (Figure 1) and a CDF (Figure 2). This crate provides exactly
-//! those tools: Pearson and Spearman correlation, summary statistics, CDFs,
-//! log-binned histograms, and simple linear regression.
+//! those tools: Pearson and Spearman correlation ([`pearson`], [`spearman`]),
+//! summary statistics ([`Summary`]), CDFs ([`Cdf`]), log-binned histograms
+//! ([`LogHistogram`]), and simple linear regression ([`linear_fit`]).
 
 pub mod cdf;
 pub mod correlation;

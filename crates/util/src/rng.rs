@@ -268,7 +268,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]
@@ -308,8 +312,7 @@ mod tests {
     #[test]
     fn geometric_small_p_is_large() {
         let mut rng = Xoshiro256pp::seed_from_u64(23);
-        let mean: f64 =
-            (0..10_000).map(|_| rng.geometric(0.1) as f64).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|_| rng.geometric(0.1) as f64).sum::<f64>() / 10_000.0;
         // E[failures before success] = (1-p)/p = 9.
         assert!((mean - 9.0).abs() < 0.7, "mean {mean}");
     }

@@ -21,8 +21,13 @@ fn main() {
         "SSSP to 5 landmarks on RoadNet-CA ({} vertices, diameter >> 120 supersteps)...",
         graph.num_vertices()
     );
-    match cutfit::algorithms::sssp(&pg, &cluster, landmarks.clone(), 10_000, &Default::default())
-    {
+    match cutfit::algorithms::sssp(
+        &pg,
+        &cluster,
+        landmarks.clone(),
+        10_000,
+        &Default::default(),
+    ) {
         Ok(r) => println!("unexpectedly converged in {} supersteps", r.supersteps),
         Err(SimError::OutOfMemory {
             executor,

@@ -36,7 +36,13 @@ fn main() {
     );
 
     let mut table = AsciiTable::new([
-        "strategy", "Balance", "NonCut", "Cut", "CommCost", "PartStDev", "PR time",
+        "strategy",
+        "Balance",
+        "NonCut",
+        "Cut",
+        "CommCost",
+        "PartStDev",
+        "PR time",
     ])
     .aligns(&[
         Align::Left,

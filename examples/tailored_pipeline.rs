@@ -9,12 +9,7 @@
 use cutfit::prelude::*;
 use cutfit::util::fmt::human_seconds;
 
-fn run(
-    algo: &Algorithm,
-    graph: &Graph,
-    strategy: GraphXStrategy,
-    cluster: &ClusterConfig,
-) -> f64 {
+fn run(algo: &Algorithm, graph: &Graph, strategy: GraphXStrategy, cluster: &ClusterConfig) -> f64 {
     algo.run(graph, &strategy, 128, cluster, ExecutorMode::Sequential)
         .expect("fits in memory")
         .sim
@@ -27,7 +22,10 @@ fn main() {
     let advisor = Advisor::scaled(scale);
 
     for (profile, algo) in [
-        (DatasetProfile::pocek(), Algorithm::PageRank { iterations: 10 }),
+        (
+            DatasetProfile::pocek(),
+            Algorithm::PageRank { iterations: 10 },
+        ),
         (
             DatasetProfile::follow_jul(),
             Algorithm::ConnectedComponents { max_iterations: 10 },

@@ -50,8 +50,7 @@ fn measured_pick_avoids_the_worst_on_ordinary_social_graphs() {
     let mut times = std::collections::HashMap::new();
     for strategy in GraphXStrategy::all() {
         let pg = strategy.partition(&graph, 32);
-        let r = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default())
-            .expect("fits");
+        let r = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default()).expect("fits");
         times.insert(strategy.abbrev(), r.sim.total_seconds);
     }
     let picked = times[choice.strategy.abbrev()];
@@ -87,8 +86,7 @@ fn the_1d_trap_on_crawl_graphs_is_real() {
     let mut times = std::collections::HashMap::new();
     for strategy in GraphXStrategy::all() {
         let pg = strategy.partition(&graph, 32);
-        let r = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default())
-            .expect("fits");
+        let r = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default()).expect("fits");
         times.insert(strategy.abbrev(), r.sim.total_seconds);
     }
     let best = times.values().copied().fold(f64::INFINITY, f64::min);
@@ -123,8 +121,8 @@ fn simulated_pick_lands_near_the_oracle_for_pagerank() {
         let mut times = std::collections::HashMap::new();
         for strategy in GraphXStrategy::all() {
             let pg = strategy.partition(&graph, 32);
-            let r = cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default())
-                .expect("fits");
+            let r =
+                cutfit::algorithms::pagerank(&pg, &cluster, 10, &Default::default()).expect("fits");
             times.insert(strategy.abbrev(), r.sim.total_seconds);
         }
         let picked = times[choice.strategy.abbrev()];

@@ -57,7 +57,8 @@ fn parallel_executor_is_bit_identical_for_every_algorithm() {
             )
             .expect("fits");
         assert_eq!(
-            seq.sim, par.sim,
+            seq.sim,
+            par.sim,
             "{}: parallel scan must not change the metered bill",
             algo.abbrev()
         );

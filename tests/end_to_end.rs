@@ -2,9 +2,7 @@
 //! validated against single-threaded reference implementations.
 
 use cutfit::prelude::*;
-use cutfit_algorithms::{
-    reference_components, reference_pagerank, reference_sssp, sssp, Sssp,
-};
+use cutfit_algorithms::{reference_components, reference_pagerank, reference_sssp, sssp, Sssp};
 use cutfit_graph::analysis::count_triangles;
 
 const SCALE: f64 = 0.0015;
@@ -37,13 +35,9 @@ fn connected_components_match_union_find_on_every_profile() {
         let graph = profile.generate(SCALE, 13);
         let reference = reference_components(&graph);
         let pg = GraphXStrategy::CanonicalRandomVertexCut.partition(&graph, 16);
-        let r = cutfit::algorithms::connected_components(
-            &pg,
-            &cluster(),
-            100_000,
-            &Default::default(),
-        )
-        .expect("fits in memory");
+        let r =
+            cutfit::algorithms::connected_components(&pg, &cluster(), 100_000, &Default::default())
+                .expect("fits in memory");
         assert!(r.converged, "{}", profile.name);
         assert_eq!(r.states, reference, "{}", profile.name);
     }
@@ -105,13 +99,9 @@ fn streaming_partitioners_run_the_full_pipeline_too() {
     ];
     for p in partitioners {
         let pg = p.partition(&graph, 16);
-        let r = cutfit::algorithms::connected_components(
-            &pg,
-            &cluster(),
-            100_000,
-            &Default::default(),
-        )
-        .expect("fits");
+        let r =
+            cutfit::algorithms::connected_components(&pg, &cluster(), 100_000, &Default::default())
+                .expect("fits");
         assert_eq!(r.states, reference, "{}", p.name());
     }
 }

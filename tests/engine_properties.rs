@@ -9,10 +9,9 @@ use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2u64..120, 0usize..400).prop_flat_map(|(n, m)| {
-        proptest::collection::vec((0..n, 0..n), m)
-            .prop_map(move |pairs| {
-                Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
-            })
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
+        })
     })
 }
 

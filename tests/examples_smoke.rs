@@ -1,0 +1,163 @@
+//! Smoke tests mirroring each of the five `examples/*.rs` flows on tiny
+//! graphs, so `cargo test` exercises every documented entry point without
+//! paying the examples' full default scales. CI additionally builds the
+//! example binaries themselves and runs `quickstart` end to end.
+
+use cutfit::prelude::*;
+
+/// `examples/quickstart.rs`: generate, partition, measure, run PageRank,
+/// read the bill.
+#[test]
+fn quickstart_flow() {
+    let graph = DatasetProfile::youtube().generate(0.001, 42);
+    assert!(graph.num_vertices() > 0);
+    assert!(graph.num_edges() > 0);
+
+    let partitioned = GraphXStrategy::EdgePartition2D.partition(&graph, 16);
+    let metrics = PartitionMetrics::of(&partitioned);
+    assert_eq!(metrics.edges, graph.num_edges());
+    assert!(metrics.balance >= 1.0);
+
+    let cluster = ClusterConfig::paper_cluster();
+    let result = pagerank(&partitioned, &cluster, 10, &Default::default()).expect("fits");
+    assert_eq!(result.states.len(), graph.num_vertices() as usize);
+    assert!(result.states.iter().all(|r| r.is_finite() && *r > 0.0));
+    assert!(result.sim.total_seconds > 0.0);
+}
+
+/// `examples/tailored_pipeline.rs`: heuristic and measured advisor
+/// recommendations, then a run under the recommended partitioning.
+#[test]
+fn tailored_pipeline_flow() {
+    let graph = DatasetProfile::pocek().generate(0.002, 7);
+    let advisor = Advisor::scaled(0.002);
+
+    let heuristic = advisor.recommend(AlgorithmClass::EdgeBound, &graph, 16);
+    assert!(!heuristic.rationale.is_empty());
+
+    let measured = advisor.recommend_measured(AlgorithmClass::EdgeBound, &graph, 16, &[]);
+    assert_eq!(measured.ranking.len(), GraphXStrategy::all().len());
+
+    let pg = heuristic.strategy.partition(&graph, 16);
+    let r = pagerank(&pg, &ClusterConfig::paper_cluster(), 5, &Default::default()).expect("fits");
+    assert_eq!(r.states.len(), graph.num_vertices() as usize);
+}
+
+/// `examples/custom_algorithm.rs`: a user-written [`VertexProgram`] driven
+/// through [`run_pregel`]. This one sums neighbour ids to each destination —
+/// small enough to verify against a sequential oracle.
+#[test]
+fn custom_algorithm_flow() {
+    struct NeighbourIdSum;
+
+    impl VertexProgram for NeighbourIdSum {
+        type State = u64;
+        type Msg = u64;
+
+        fn name(&self) -> &'static str {
+            "neighbour-id-sum"
+        }
+
+        fn initial_state(&self, _v: VertexId, _ctx: &cutfit::engine::InitCtx<'_>) -> u64 {
+            0
+        }
+
+        fn initial_msg(&self) -> u64 {
+            0
+        }
+
+        fn apply(&self, _v: VertexId, state: &u64, msg: &u64) -> u64 {
+            state + msg
+        }
+
+        fn send(&self, t: &Triplet<'_, u64>) -> Messages<u64> {
+            Messages::ToDst(t.src + 1)
+        }
+
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    let graph = Graph::new(
+        5,
+        vec![
+            Edge::new(0, 1),
+            Edge::new(2, 1),
+            Edge::new(3, 4),
+            Edge::new(4, 3),
+        ],
+    );
+    let pg = GraphXStrategy::RandomVertexCut.partition(&graph, 4);
+    let r = run_pregel(
+        &NeighbourIdSum,
+        &pg,
+        &ClusterConfig::paper_cluster(),
+        &PregelConfig {
+            max_iterations: 1,
+            ..Default::default()
+        },
+    )
+    .expect("fits");
+    // After one superstep each vertex holds the sum of (src + 1) over its
+    // in-edges: vertex 1 gets (0+1) + (2+1), vertices 3 and 4 get each other.
+    assert_eq!(r.states, vec![0, 4, 0, 5, 4]);
+}
+
+/// `examples/partitioner_comparison.rs`: all six strategies measured and run
+/// on one dataset.
+#[test]
+fn partitioner_comparison_flow() {
+    let graph = DatasetProfile::youtube().generate(0.001, 11);
+    let cluster = ClusterConfig::paper_cluster();
+    for strategy in GraphXStrategy::all() {
+        let pg = strategy.partition(&graph, 8);
+        let metrics = PartitionMetrics::of(&pg);
+        assert_eq!(metrics.edges, graph.num_edges(), "{strategy}");
+        let r = pagerank(&pg, &cluster, 3, &Default::default()).expect("fits");
+        assert!(r.sim.total_seconds > 0.0, "{strategy}");
+    }
+}
+
+/// `examples/oom_postmortem.rs`: long-lineage SSSP on a road network dies of
+/// simulated memory exhaustion; checkpointing fixes it; a bounded-iteration
+/// job under the same budget is fine.
+#[test]
+fn oom_postmortem_flow() {
+    let scale = 0.006;
+    let graph = DatasetProfile::road_net_ca().generate(scale, 42);
+    let cluster = ClusterConfig::paper_cluster().with_memory_scale(scale);
+    let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 32);
+    let landmarks = cutfit::algorithms::Sssp::pick_landmarks(graph.num_vertices(), 5, 7);
+
+    match sssp(
+        &pg,
+        &cluster,
+        landmarks.clone(),
+        10_000,
+        &Default::default(),
+    ) {
+        Err(SimError::OutOfMemory {
+            required_gb,
+            capacity_gb,
+            ..
+        }) => {
+            assert!(required_gb > capacity_gb);
+        }
+        Ok(r) => panic!(
+            "expected the paper's OOM, converged in {} supersteps",
+            r.supersteps
+        ),
+    }
+
+    let mut checkpointed = cluster.clone();
+    checkpointed.cost.lineage_heap_fraction_per_superstep = 0.0;
+    checkpointed.cost.lineage_retention = 0.0;
+    let r = sssp(&pg, &checkpointed, landmarks, 10_000, &Default::default())
+        .expect("checkpointing truncates the lineage");
+    assert!(r.converged);
+
+    let pr = pagerank(&pg, &cluster, 10, &Default::default())
+        .expect("bounded iteration count stays within budget");
+    assert_eq!(pr.supersteps, 10);
+}

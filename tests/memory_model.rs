@@ -56,8 +56,14 @@ fn sssp_on_social_graphs_completes_under_the_same_budget() {
         let graph = profile.generate(SCALE, 42);
         let landmarks = Sssp::pick_landmarks(graph.num_vertices(), 5, 1);
         let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 128);
-        let r = sssp(&pg, &scaled_cluster(), landmarks, 10_000, &Default::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        let r = sssp(
+            &pg,
+            &scaled_cluster(),
+            landmarks,
+            10_000,
+            &Default::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
         assert!(r.converged, "{}", profile.name);
         assert!(
             r.supersteps < 60,
@@ -92,14 +98,8 @@ fn infrastructure_presets_order_runtimes_as_in_the_paper() {
             .expect("full-size memory");
         times.push((config.name.clone(), r.sim.total_seconds));
     }
-    assert!(
-        times[0].1 > times[1].1,
-        "40Gbps must beat 1Gbps: {times:?}"
-    );
-    assert!(
-        times[1].1 > times[2].1,
-        "SSD must beat HDD: {times:?}"
-    );
+    assert!(times[0].1 > times[1].1, "40Gbps must beat 1Gbps: {times:?}");
+    assert!(times[1].1 > times[2].1, "SSD must beat HDD: {times:?}");
     // The paper reports roughly 15% and 20% total improvements.
     let iii_gain = (times[0].1 - times[1].1) / times[0].1;
     let iv_gain = (times[0].1 - times[2].1) / times[0].1;

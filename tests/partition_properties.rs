@@ -1,16 +1,15 @@
 //! Property-based tests on partitioning invariants (proptest).
 
-use cutfit::prelude::*;
 use cutfit::partition::all_partitioners;
+use cutfit::prelude::*;
 use proptest::prelude::*;
 
 /// Strategy for small random multigraphs.
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2u64..200, 0usize..600).prop_flat_map(|(n, m)| {
-        proptest::collection::vec((0..n, 0..n), m)
-            .prop_map(move |pairs| {
-                Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
-            })
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
+        })
     })
 }
 
