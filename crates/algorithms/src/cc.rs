@@ -53,6 +53,11 @@ impl VertexProgram for ConnectedComponents {
     fn merge(&self, a: u64, b: u64) -> u64 {
         a.min(b)
     }
+
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        // A component label is always one u64 record.
+        Some(std::mem::size_of::<u64>() as u64)
+    }
 }
 
 /// Runs connected components to fixpoint or `max_iterations`.

@@ -72,6 +72,11 @@ impl VertexProgram for HitsProgram {
     fn always_active(&self) -> bool {
         true
     }
+
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        // A score pair is always two f64 records.
+        Some(std::mem::size_of::<HitsScore>() as u64)
+    }
 }
 
 /// Runs `iterations` HITS rounds and normalises both scores by their maxima.

@@ -93,6 +93,11 @@ impl VertexProgram for KCore {
         12
     }
 
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        // An h-index estimate always serializes to the same record size.
+        Some(12)
+    }
+
     fn msg_bytes(&self, msg: &Vec<u32>) -> u64 {
         8 + 4 * msg.len() as u64
     }

@@ -94,6 +94,11 @@ impl VertexProgram for LabelPropagation {
         8
     }
 
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        // A label is always one u64 record.
+        Some(8)
+    }
+
     fn msg_bytes(&self, msg: &LabelVotes) -> u64 {
         8 + 12 * msg.len() as u64
     }

@@ -63,6 +63,11 @@ impl VertexProgram for PageRank {
     fn always_active(&self) -> bool {
         true
     }
+
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        // A rank is always one f64 record.
+        Some(std::mem::size_of::<f64>() as u64)
+    }
 }
 
 /// Runs `iterations` rounds of static PageRank over a partitioned graph.

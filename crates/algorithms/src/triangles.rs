@@ -208,10 +208,7 @@ fn charge_set_residency(
             .iter()
             .map(|&v| full[v as usize].len() as u64 * 8)
             .sum();
-        sim.set_resident(
-            p as PartId,
-            part.edges.len() as u64 * 8 + part.vertices.len() as u64 * 8 + set_bytes,
-        );
+        sim.set_resident(p as PartId, part.structure_bytes() + set_bytes);
     }
 }
 

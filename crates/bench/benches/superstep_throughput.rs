@@ -1,0 +1,67 @@
+//! Superstep-throughput microbench for the rebuilt engine hot path:
+//! PageRank on an RMAT graph over a 16-partition 2D cut, sequential vs
+//! `Parallel{4}` vs `Auto`. The reported element rate is **supersteps per
+//! second** — the figure of merit for the paper's argument that partitioning
+//! quality surfaces as superstep execution time.
+//!
+//! Defaults to RMAT scale 16 (65 536 vertices, ~500 k edges), the acceptance
+//! workload for the scan-index/buffer-reuse/parallel-shuffle rewrite; set
+//! `CUTFIT_BENCH_RMAT_SCALE` to run a smaller graph (CI uses 12 as a
+//! non-gating perf trajectory signal).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_core::prelude::*;
+
+/// Message supersteps per measured run (plus one setup superstep).
+const ITERATIONS: u64 = 3;
+
+fn rmat_scale() -> u32 {
+    std::env::var("CUTFIT_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn bench_superstep_throughput(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    let graph = cutfit_core::datagen::rmat(&config, 42);
+    let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 16);
+    let cluster = ClusterConfig::paper_cluster();
+
+    let mut group = c.benchmark_group(format!("superstep_throughput/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ITERATIONS + 1)); // supersteps/sec
+    for (label, executor) in [
+        ("sequential", ExecutorMode::Sequential),
+        ("parallel-4", ExecutorMode::Parallel { threads: 4 }),
+        ("auto", ExecutorMode::Auto),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &executor,
+            |b, &executor| {
+                b.iter(|| {
+                    cutfit_core::algorithms::pagerank(
+                        &pg,
+                        &cluster,
+                        ITERATIONS,
+                        &PregelConfig {
+                            executor,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("fits in memory")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep_throughput);
+criterion_main!(benches);

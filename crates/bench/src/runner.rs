@@ -15,7 +15,8 @@ pub struct BenchArgs {
     pub csv: bool,
     /// Restrict to these dataset names (paper spelling, case-insensitive).
     pub datasets: Option<Vec<String>>,
-    /// Scan-executor threads (1 = sequential).
+    /// Executor threads (1 = sequential, 0 = auto-sized from the host's
+    /// available parallelism).
     pub threads: usize,
 }
 
@@ -56,7 +57,8 @@ impl BenchArgs {
                  \x20 --seed N       generator seed (default 42)\n\
                  \x20 --parts A,B    partition counts (default {default_parts:?})\n\
                  \x20 --datasets X,Y restrict datasets (Table 1 names)\n\
-                 \x20 --threads N    scan threads (default 1)\n\
+                 \x20 --threads N    executor threads (default 1; `auto` or 0\n\
+                 \x20                sizes the pool from the host's cores)\n\
                  \x20 --csv          machine-readable output"
             );
             std::process::exit(2);
@@ -101,10 +103,15 @@ impl BenchArgs {
                     )
                 }
                 "--threads" => {
-                    out.threads = value("--threads").parse().unwrap_or_else(|_| {
-                        eprintln!("--threads expects an integer");
-                        std::process::exit(2)
-                    })
+                    let raw = value("--threads");
+                    out.threads = if raw.eq_ignore_ascii_case("auto") {
+                        0
+                    } else {
+                        raw.parse().unwrap_or_else(|_| {
+                            eprintln!("--threads expects an integer or `auto`");
+                            std::process::exit(2)
+                        })
+                    }
                 }
                 "--csv" => out.csv = true,
                 "--help" | "-h" => usage(),
@@ -139,14 +146,12 @@ impl BenchArgs {
         }
     }
 
-    /// The scan executor implied by `--threads`.
+    /// The executor implied by `--threads`.
     pub fn executor(&self) -> ExecutorMode {
-        if self.threads <= 1 {
-            ExecutorMode::Sequential
-        } else {
-            ExecutorMode::Parallel {
-                threads: self.threads,
-            }
+        match self.threads {
+            0 => ExecutorMode::Auto,
+            1 => ExecutorMode::Sequential,
+            threads => ExecutorMode::Parallel { threads },
         }
     }
 
@@ -231,6 +236,15 @@ mod tests {
         let profiles = a.profiles();
         assert_eq!(profiles.len(), 2);
         assert_eq!(profiles[0].name, "Orkut");
+    }
+
+    #[test]
+    fn threads_auto_selects_auto_executor() {
+        for spelling in ["auto", "AUTO", "0"] {
+            let a = parse(&["--threads", spelling]);
+            assert_eq!(a.threads, 0, "{spelling}");
+            assert_eq!(a.executor(), cutfit_core::prelude::ExecutorMode::Auto);
+        }
     }
 
     #[test]

@@ -22,9 +22,14 @@ pub struct PartWork {
 pub struct SuperstepLedger {
     parts: Vec<PartWork>,
     executors: u32,
-    /// Row-major `executors × executors` byte matrix; `[from][to]`.
+    /// Row-major `executors × executors` byte matrix; `[from][to]`. All
+    /// index arithmetic is `usize`-wide (`executors²` overflows `u32` from
+    /// 65 536 executors up), and the matrix is allocated on the first
+    /// recorded transfer so a ledger for a huge executor grid can be
+    /// constructed — and queried while empty — without reserving
+    /// `executors²` memory.
     exec_bytes: Vec<u64>,
-    /// Message counts, same layout.
+    /// Message counts, same layout (allocated together with `exec_bytes`).
     exec_msgs: Vec<u64>,
 }
 
@@ -35,9 +40,16 @@ impl SuperstepLedger {
         Self {
             parts: vec![PartWork::default(); num_parts as usize],
             executors,
-            exec_bytes: vec![0; (executors * executors) as usize],
-            exec_msgs: vec![0; (executors * executors) as usize],
+            exec_bytes: Vec::new(),
+            exec_msgs: Vec::new(),
         }
+    }
+
+    /// Row-major index of the `[from][to]` executor pair, widened to
+    /// `usize` before multiplying.
+    #[inline]
+    fn pair_index(&self, from: u32, to: u32) -> usize {
+        from as usize * self.executors as usize + to as usize
     }
 
     /// Clears all counters for the next superstep.
@@ -69,7 +81,12 @@ impl SuperstepLedger {
     /// from executor `from_exec` to executor `to_exec` (possibly the same).
     #[inline]
     pub fn send_exec(&mut self, from_exec: u32, to_exec: u32, msgs: u64, bytes: u64) {
-        let idx = (from_exec * self.executors + to_exec) as usize;
+        if self.exec_bytes.is_empty() {
+            let cells = self.executors as usize * self.executors as usize;
+            self.exec_bytes = vec![0; cells];
+            self.exec_msgs = vec![0; cells];
+        }
+        let idx = self.pair_index(from_exec, to_exec);
         self.exec_bytes[idx] += bytes;
         self.exec_msgs[idx] += msgs;
     }
@@ -81,7 +98,10 @@ impl SuperstepLedger {
 
     /// Bytes sent from `from` to `to` (executor indices).
     pub fn bytes_between(&self, from: u32, to: u32) -> u64 {
-        self.exec_bytes[(from * self.executors + to) as usize]
+        if self.exec_bytes.is_empty() {
+            return 0;
+        }
+        self.exec_bytes[self.pair_index(from, to)]
     }
 
     /// Total message records this superstep.
@@ -91,12 +111,15 @@ impl SuperstepLedger {
 
     /// Total bytes crossing executor boundaries.
     pub fn remote_bytes(&self) -> u64 {
+        if self.exec_bytes.is_empty() {
+            return 0;
+        }
         let e = self.executors;
         let mut sum = 0;
         for from in 0..e {
             for to in 0..e {
                 if from != to {
-                    sum += self.exec_bytes[(from * e + to) as usize];
+                    sum += self.exec_bytes[self.pair_index(from, to)];
                 }
             }
         }
@@ -105,19 +128,25 @@ impl SuperstepLedger {
 
     /// Total bytes staying within an executor.
     pub fn local_shuffle_bytes(&self) -> u64 {
+        if self.exec_bytes.is_empty() {
+            return 0;
+        }
         (0..self.executors)
-            .map(|x| self.exec_bytes[(x * self.executors + x) as usize])
+            .map(|x| self.exec_bytes[self.pair_index(x, x)])
             .sum()
     }
 
     /// Outgoing remote bytes per executor.
     pub fn out_bytes_per_exec(&self) -> Vec<u64> {
         let e = self.executors;
+        if self.exec_bytes.is_empty() {
+            return vec![0; e as usize];
+        }
         (0..e)
             .map(|from| {
                 (0..e)
                     .filter(|&to| to != from)
-                    .map(|to| self.exec_bytes[(from * e + to) as usize])
+                    .map(|to| self.exec_bytes[self.pair_index(from, to)])
                     .sum()
             })
             .collect()
@@ -126,11 +155,14 @@ impl SuperstepLedger {
     /// Incoming remote bytes per executor.
     pub fn in_bytes_per_exec(&self) -> Vec<u64> {
         let e = self.executors;
+        if self.exec_bytes.is_empty() {
+            return vec![0; e as usize];
+        }
         (0..e)
             .map(|to| {
                 (0..e)
                     .filter(|&from| from != to)
-                    .map(|from| self.exec_bytes[(from * e + to) as usize])
+                    .map(|from| self.exec_bytes[self.pair_index(from, to)])
                     .sum()
             })
             .collect()
@@ -174,6 +206,39 @@ mod tests {
         assert_eq!(l.local_shuffle_bytes(), 100);
         assert_eq!(l.total_messages(), 4);
         assert_eq!(l.bytes_between(0, 1), 200);
+    }
+
+    #[test]
+    fn large_executor_count_constructs_correctly() {
+        // Regression: `executors * executors` used to be computed in `u32`,
+        // which overflows from 65 536 executors up (65 536² = 2³²) — the
+        // matrix silently wrapped to a zero-length allocation and the first
+        // `send_exec` panicked. Index arithmetic is now `usize`-wide and the
+        // matrices are lazily allocated, so even a million-executor ledger
+        // constructs and answers queries while empty.
+        let mut l = SuperstepLedger::new(8, 1_000_000);
+        assert!(l.is_empty());
+        assert_eq!(l.remote_bytes(), 0);
+        assert_eq!(l.local_shuffle_bytes(), 0);
+        assert_eq!(l.bytes_between(999_999, 0), 0);
+        assert_eq!(l.out_bytes_per_exec().len(), 1_000_000);
+        assert_eq!(l.in_bytes_per_exec().len(), 1_000_000);
+        l.edge_scans(3, 17);
+        assert_eq!(l.part_work()[3].edge_scans, 17);
+        l.reset();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn lazy_matrices_record_after_first_send() {
+        let mut l = SuperstepLedger::new(2, 300); // 90 000 cells, alloc on use
+        assert_eq!(l.bytes_between(299, 299), 0);
+        l.send_exec(299, 0, 2, 64);
+        l.send_exec(0, 0, 1, 8);
+        assert_eq!(l.remote_bytes(), 64);
+        assert_eq!(l.local_shuffle_bytes(), 8);
+        assert_eq!(l.total_messages(), 3);
+        assert_eq!(l.bytes_between(299, 0), 64);
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub struct ClusterSim {
     num_parts: u32,
     ledger: SuperstepLedger,
     report: SimReport,
-    /// Raw resident bytes per executor (graph structure + vertex state).
+    /// Raw resident bytes per partition (graph structure + vertex state).
+    part_resident: Vec<u64>,
+    /// Raw resident bytes per executor — always the sum of `part_resident`
+    /// over the executor's partitions, maintained incrementally.
     resident_bytes: Vec<u64>,
     /// Bytes of retained shuffle lineage per executor.
     retained_bytes: Vec<f64>,
@@ -84,6 +87,7 @@ impl ClusterSim {
         let executors = config.executors;
         Self {
             ledger: SuperstepLedger::new(num_parts, executors),
+            part_resident: vec![0; num_parts as usize],
             resident_bytes: vec![0; executors as usize],
             retained_bytes: vec![0.0; executors as usize],
             report: SimReport::default(),
@@ -108,17 +112,43 @@ impl ClusterSim {
     }
 
     /// Declares `bytes` of raw resident data (edges + vertex state) hosted
-    /// by `part`. Resident data persists across supersteps; call again to
-    /// update when state sizes change.
+    /// by `part`, replacing the partition's previous declaration. Resident
+    /// data persists across supersteps; call again to update when state
+    /// sizes change.
     pub fn set_resident(&mut self, part: u32, bytes: u64) {
-        // Residency is tracked per executor; caller provides per-partition
-        // totals, so we have to rebuild — keep it simple: accumulate deltas.
         let exec = self.config.executor_of(part) as usize;
-        self.resident_bytes[exec] += bytes;
+        let old = std::mem::replace(&mut self.part_resident[part as usize], bytes);
+        self.resident_bytes[exec] = self.resident_bytes[exec] - old + bytes;
+    }
+
+    /// Adjusts `part`'s residency by a signed delta — the incremental path
+    /// for engines that track vertex-state growth per update instead of
+    /// re-summing every replica each superstep.
+    ///
+    /// # Panics
+    /// Panics if the delta would drive the partition's residency negative.
+    pub fn adjust_resident(&mut self, part: u32, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let exec = self.config.executor_of(part) as usize;
+        let slot = &mut self.part_resident[part as usize];
+        *slot = slot
+            .checked_add_signed(delta)
+            .expect("resident bytes cannot go negative");
+        self.resident_bytes[exec] = self.resident_bytes[exec]
+            .checked_add_signed(delta)
+            .expect("executor resident bytes cannot go negative");
+    }
+
+    /// Raw resident bytes currently declared for `part`.
+    pub fn resident_of(&self, part: u32) -> u64 {
+        self.part_resident[part as usize]
     }
 
     /// Clears all residency (e.g. before re-declaring updated state sizes).
     pub fn clear_resident(&mut self) {
+        self.part_resident.fill(0);
         self.resident_bytes.fill(0);
     }
 
@@ -360,6 +390,59 @@ mod tests {
         let mut sim = ClusterSim::new(cfg, 8);
         sim.set_resident(0, 200_000); // ×10 = 2 MB > 1 MB budget
         assert!(sim.end_superstep().is_err());
+    }
+
+    #[test]
+    fn set_resident_replaces_instead_of_accumulating() {
+        // Regression: updating a partition's residency used to *add* to the
+        // executor total, double-counting memory and raising spurious OOMs.
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 1.0;
+        cfg.cost.memory_overhead_factor = 1.0;
+        let mut sim = ClusterSim::new(cfg, 8);
+        // 200 MB declared 50 times must still be 200 MB, not 10 GB.
+        for _ in 0..50 {
+            sim.set_resident(0, 200_000_000);
+        }
+        assert_eq!(sim.resident_of(0), 200_000_000);
+        sim.end_superstep()
+            .expect("no OOM: repeated declarations replace, not accumulate");
+        assert!(sim.report().peak_executor_memory_gb < 0.3);
+    }
+
+    #[test]
+    fn set_resident_can_shrink_a_partition() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        sim.set_resident(2, 5_000);
+        sim.set_resident(2, 1_000);
+        assert_eq!(sim.resident_of(2), 1_000);
+    }
+
+    #[test]
+    fn adjust_resident_tracks_deltas_exactly() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        sim.set_resident(1, 1_000);
+        sim.adjust_resident(1, 500);
+        sim.adjust_resident(1, -200);
+        assert_eq!(sim.resident_of(1), 1_300);
+        // Executor totals follow: partitions 1, 3, 5, 7 live on executor 1.
+        sim.set_resident(3, 700);
+        let mut incremental = ClusterSim::new(small_cluster(), 8);
+        incremental.set_resident(1, 1_300);
+        incremental.set_resident(3, 700);
+        assert_eq!(
+            sim.end_superstep().unwrap(),
+            incremental.end_superstep().unwrap(),
+            "delta path and set path must bill identically"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resident bytes cannot go negative")]
+    fn adjust_resident_rejects_underflow() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        sim.set_resident(0, 10);
+        sim.adjust_resident(0, -11);
     }
 
     #[test]

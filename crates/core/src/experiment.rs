@@ -30,7 +30,8 @@ pub struct ExperimentConfig {
     pub partitioners: Vec<GraphXStrategy>,
     /// Simulated cluster.
     pub cluster: ClusterConfig,
-    /// Scan executor.
+    /// Engine executor. Every mode produces bit-identical observations —
+    /// [`ExecutorMode::Auto`] simply runs the grid on all available cores.
     pub executor: ExecutorMode,
     /// When true, executor memory scales with `scale` so that memory
     /// pressure matches the full-size system (needed for the SSSP
@@ -272,6 +273,27 @@ mod tests {
             "more communication should cost more time: {corr}"
         );
         assert!(r.rank_correlation(MetricKind::CommCost, 8).is_some());
+    }
+
+    #[test]
+    fn auto_executor_reproduces_sequential_grid() {
+        // The executor mode must never change an observation: same times,
+        // same metrics, same supersteps, cell for cell.
+        let algo = Algorithm::PageRank { iterations: 3 };
+        let seq = run_experiment(&algo, &tiny_config());
+        let auto = run_experiment(
+            &algo,
+            &ExperimentConfig {
+                executor: ExecutorMode::Auto,
+                ..tiny_config()
+            },
+        );
+        assert_eq!(seq.observations.len(), auto.observations.len());
+        for (a, b) in seq.observations.iter().zip(&auto.observations) {
+            assert_eq!(a.time_s, b.time_s, "{}/{}", a.dataset, a.partitioner);
+            assert_eq!(a.supersteps, b.supersteps);
+            assert_eq!(a.metrics, b.metrics);
+        }
     }
 
     #[test]

@@ -17,9 +17,15 @@
 //!
 //! Algorithms really execute — the returned states are exact — while a
 //! [`cutfit_cluster::ClusterSim`] bills the metered work into simulated
-//! seconds. Sequential and thread-parallel executors produce bit-identical
-//! results (scans are parallel; merges happen in deterministic partition
-//! order).
+//! seconds.
+//!
+//! The superstep loop runs on precomputed run-scoped indexes and reusable
+//! buffers (see [`pregel`]), and all three phases — scan, shuffle, apply —
+//! execute on the worker pool under [`ExecutorMode::Parallel`] and
+//! [`ExecutorMode::Auto`]. Every executor mode produces bit-identical
+//! results, vertex states *and* metered [`cutfit_cluster::SimReport`]:
+//! threads own disjoint partition/vertex sets, per-vertex merges happen in
+//! deterministic source-partition order, and all metering is integral.
 
 pub mod pregel;
 pub mod program;

@@ -1,9 +1,37 @@
 //! The metered Pregel loop.
+//!
+//! The superstep hot path is built around two ideas:
+//!
+//! * **Run-scoped indexes** (the private `ScanIndex`): everything the loop
+//!   would otherwise resolve per message — each vertex's master ("home")
+//!   partition including the isolated-vertex hash fallback,
+//!   partition→executor mapping, and the per-partition grouping of local
+//!   vertices by home — is precomputed once from the [`PartitionedGraph`],
+//!   and endpoint resolution is a single load from the borrowed
+//!   local→global table, so supersteps do zero binary searches, routing
+//!   lookups, or hashing.
+//! * **Buffer reuse**: the inbox, per-partition partial-aggregate buffers,
+//!   and activity bitsets are allocated once per run and cleared in place
+//!   (the shuffle *takes* every partial and the apply *takes* every inbox
+//!   entry, so the buffers self-clean), eliminating the per-superstep
+//!   O(vertices + replicas) allocation churn.
+//!
+//! All three phases — scan, shuffle, apply/broadcast — run on the worker
+//! pool. Scan parallelises over edge partitions; shuffle and apply
+//! parallelise over *home* partitions, each thread owning a disjoint set of
+//! vertices, with per-thread integral metering deltas merged afterwards.
+//! Because every ledger quantity is an integer counter and each vertex's
+//! messages merge in ascending source-partition order in every mode, the
+//! parallel executors are bit-identical to sequential execution in both
+//! vertex states and the metered [`SimReport`].
 
-use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport};
+use std::cell::Cell;
+use std::ops::Range;
+
+use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport, SuperstepLedger};
 use cutfit_graph::types::PartId;
 use cutfit_graph::VertexId;
-use cutfit_partition::{EdgePartition, PartitionedGraph};
+use cutfit_partition::{PartitionedGraph, NO_PART};
 use cutfit_util::hash::hash64;
 
 use crate::program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram};
@@ -13,13 +41,30 @@ use crate::program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram}
 pub enum ExecutorMode {
     /// One partition after another on the calling thread.
     Sequential,
-    /// Partitions scanned by a pool of OS threads. Results are identical to
-    /// sequential execution: scans are independent and merges happen in
-    /// deterministic partition order afterwards.
+    /// All phases (scan, shuffle, apply) run on a pool of OS threads.
+    /// Results are bit-identical to sequential execution: threads own
+    /// disjoint partition/vertex sets, merges happen in deterministic
+    /// source-partition order, and all metering is integral.
     Parallel {
         /// Number of worker threads.
         threads: usize,
     },
+    /// Like [`ExecutorMode::Parallel`] with the pool sized from
+    /// [`std::thread::available_parallelism`].
+    Auto,
+}
+
+impl ExecutorMode {
+    /// Number of worker threads this mode resolves to (≥ 1).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutorMode::Sequential => 1,
+            ExecutorMode::Parallel { threads } => (*threads).max(1),
+            ExecutorMode::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
 }
 
 /// Engine options.
@@ -28,7 +73,7 @@ pub struct PregelConfig {
     /// Maximum number of message supersteps (the paper runs PR and CC for
     /// 10 iterations).
     pub max_iterations: u64,
-    /// Scan executor.
+    /// Executor mode for the scan/shuffle/apply phases.
     pub executor: ExecutorMode,
     /// Whether to charge the initial dataset load from storage.
     pub charge_initial_load: bool,
@@ -59,6 +104,284 @@ pub struct PregelResult<V> {
     pub sim: SimReport,
 }
 
+/// Per-partition slice of the run-scoped index.
+struct PartIndex<'a> {
+    /// The partition's edges as (local src, local dst), borrowed — copying
+    /// (or widening) them per run costs more memory traffic than the
+    /// single L1-resident `globals` load it would save.
+    edges: &'a [(u32, u32)],
+    /// Local→global id table, borrowed from the partition: endpoint
+    /// resolution is one array load, never a binary search.
+    globals: &'a [VertexId],
+    /// CSR offsets into `home_locals`, one group per home partition.
+    home_offsets: Vec<u32>,
+    /// Local vertex indices grouped by the home partition of their global
+    /// vertex, ascending within each group.
+    home_locals: Vec<u32>,
+    /// Bytes of partition structure resident every superstep.
+    structure_bytes: u64,
+}
+
+impl PartIndex<'_> {
+    /// Local indices of this partition whose vertices are mastered at `q`.
+    #[inline]
+    fn locals_of_home(&self, q: usize) -> &[u32] {
+        &self.home_locals[self.home_offsets[q] as usize..self.home_offsets[q + 1] as usize]
+    }
+}
+
+/// Immutable run-scoped index precomputed from the [`PartitionedGraph`] so
+/// the superstep loop does no routing lookups, hashing, or binary searches.
+struct ScanIndex<'a> {
+    /// Master partition per vertex, with the isolated-vertex hash fallback
+    /// folded in (GraphX hash-partitions the vertex RDD; vertices without
+    /// edges still live somewhere).
+    home: Vec<PartId>,
+    /// Executor hosting each partition.
+    exec_of_part: Vec<u32>,
+    /// Per-partition edge/vertex tables and local groupings.
+    parts: Vec<PartIndex<'a>>,
+    /// CSR offsets into `home_verts`, one group per home partition.
+    vert_offsets: Vec<u64>,
+    /// All vertex ids grouped by home partition, ascending within groups.
+    home_verts: Vec<VertexId>,
+}
+
+impl<'a> ScanIndex<'a> {
+    /// Builds the index. The home-sharded groupings (`home_locals`,
+    /// `home_verts`) are only needed by the multi-threaded shuffle/apply —
+    /// the single-thread path sweeps linearly — so they are built only when
+    /// `shards` is set.
+    fn build(pg: &'a PartitionedGraph, cluster: &ClusterConfig, shards: bool) -> Self {
+        let n = pg.num_vertices() as usize;
+        let np = pg.num_parts() as usize;
+        let home: Vec<PartId> = pg
+            .masters()
+            .iter()
+            .enumerate()
+            .map(|(v, &m)| {
+                if m == NO_PART {
+                    (hash64(v as u64) % np as u64) as PartId
+                } else {
+                    m
+                }
+            })
+            .collect();
+        let exec_of_part: Vec<u32> = (0..np as u32).map(|p| cluster.executor_of(p)).collect();
+
+        let parts = pg
+            .parts()
+            .iter()
+            .map(|part| {
+                let (home_offsets, home_locals) = if shards {
+                    // Counting sort of local indices by home partition:
+                    // local order is preserved within each group, so
+                    // per-vertex merge order stays source-partition-
+                    // ascending in every mode.
+                    let mut offsets = vec![0u32; np + 1];
+                    for &v in &part.vertices {
+                        offsets[home[v as usize] as usize + 1] += 1;
+                    }
+                    for q in 0..np {
+                        offsets[q + 1] += offsets[q];
+                    }
+                    let mut cursor = offsets.clone();
+                    let mut locals = vec![0u32; part.vertices.len()];
+                    for (local, &v) in part.vertices.iter().enumerate() {
+                        let q = home[v as usize] as usize;
+                        locals[cursor[q] as usize] = local as u32;
+                        cursor[q] += 1;
+                    }
+                    (offsets, locals)
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                PartIndex {
+                    edges: &part.edges,
+                    globals: &part.vertices,
+                    home_offsets,
+                    home_locals,
+                    structure_bytes: part.structure_bytes(),
+                }
+            })
+            .collect();
+
+        let (vert_offsets, home_verts) = if shards {
+            let mut offsets = vec![0u64; np + 1];
+            for &h in &home {
+                offsets[h as usize + 1] += 1;
+            }
+            for q in 0..np {
+                offsets[q + 1] += offsets[q];
+            }
+            let mut cursor = offsets.clone();
+            let mut verts = vec![0u64; n];
+            for (v, &h) in home.iter().enumerate() {
+                verts[cursor[h as usize] as usize] = v as VertexId;
+                cursor[h as usize] += 1;
+            }
+            (offsets, verts)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        Self {
+            home,
+            exec_of_part,
+            parts,
+            vert_offsets,
+            home_verts,
+        }
+    }
+
+    /// All vertices mastered at home partition `q`, ascending.
+    #[inline]
+    fn verts_of_home(&self, q: usize) -> &[VertexId] {
+        &self.home_verts[self.vert_offsets[q] as usize..self.vert_offsets[q + 1] as usize]
+    }
+}
+
+/// A slice shared by the worker threads of one phase, written at provably
+/// disjoint indices: every index is owned by exactly one home partition and
+/// every home partition is processed by exactly one thread.
+struct DisjointSlice<'a, T>(&'a [Cell<T>]);
+
+// SAFETY: each index is accessed by at most one thread per phase (see the
+// struct docs); `T: Send` makes moving values across those threads sound.
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        Self(Cell::from_mut(slice).as_slice_of_cells())
+    }
+
+    /// # Safety
+    /// No two threads may access the same index during one phase.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.0[i].as_ptr()
+    }
+}
+
+/// Per-thread metering accumulator. Every field is an exact integer
+/// counter, so merging thread deltas in any order reproduces the sequential
+/// ledger bit for bit.
+struct MeterDelta {
+    executors: usize,
+    /// Row-major `executors × executors` byte/message matrices, allocated
+    /// on the first recorded transfer (mirrors [`SuperstepLedger`]'s lazy
+    /// hardening: a huge executor grid must not cost `executors²` memory
+    /// per worker thread).
+    exec_bytes: Vec<u64>,
+    exec_msgs: Vec<u64>,
+    /// Per-partition counters.
+    vertex_ops: Vec<u64>,
+    local_bytes: Vec<u64>,
+    /// Per-partition resident-state deltas (signed bytes).
+    resident: Vec<i64>,
+    /// Messages shuffled by this thread.
+    msgs: u64,
+}
+
+impl MeterDelta {
+    fn new(executors: usize, num_parts: usize) -> Self {
+        Self {
+            executors,
+            exec_bytes: Vec::new(),
+            exec_msgs: Vec::new(),
+            vertex_ops: vec![0; num_parts],
+            local_bytes: vec![0; num_parts],
+            resident: vec![0; num_parts],
+            msgs: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.exec_bytes.fill(0);
+        self.exec_msgs.fill(0);
+        self.vertex_ops.fill(0);
+        self.local_bytes.fill(0);
+        self.resident.fill(0);
+        self.msgs = 0;
+    }
+
+    #[inline]
+    fn send_exec(&mut self, from_exec: u32, to_exec: u32, msgs: u64, bytes: u64) {
+        if self.exec_bytes.is_empty() {
+            let cells = self.executors * self.executors;
+            self.exec_bytes = vec![0; cells];
+            self.exec_msgs = vec![0; cells];
+        }
+        let idx = from_exec as usize * self.executors + to_exec as usize;
+        self.exec_bytes[idx] += bytes;
+        self.exec_msgs[idx] += msgs;
+    }
+
+    fn flush_ledger(&self, ledger: &mut SuperstepLedger) {
+        for (p, &ops) in self.vertex_ops.iter().enumerate() {
+            if ops > 0 {
+                ledger.vertex_ops(p as u32, ops);
+            }
+        }
+        for (p, &bytes) in self.local_bytes.iter().enumerate() {
+            if bytes > 0 {
+                ledger.local_bytes(p as u32, bytes);
+            }
+        }
+        if self.exec_bytes.is_empty() {
+            return;
+        }
+        for from in 0..self.executors {
+            for to in 0..self.executors {
+                let idx = from * self.executors + to;
+                if self.exec_msgs[idx] > 0 || self.exec_bytes[idx] > 0 {
+                    ledger.send_exec(
+                        from as u32,
+                        to as u32,
+                        self.exec_msgs[idx],
+                        self.exec_bytes[idx],
+                    );
+                }
+            }
+        }
+    }
+
+    fn flush_resident(&self, sim: &mut ClusterSim) {
+        for (p, &delta) in self.resident.iter().enumerate() {
+            sim.adjust_resident(p as u32, delta);
+        }
+    }
+}
+
+/// Runs `work` over `0..num_parts` split into contiguous ranges, one per
+/// worker thread (inline on the calling thread when the pool has one
+/// worker). Each range pairs with its own [`MeterDelta`].
+fn run_on_pool<F>(num_parts: usize, threads: usize, deltas: &mut [MeterDelta], work: F)
+where
+    F: Fn(Range<usize>, &mut MeterDelta) + Sync,
+{
+    for delta in deltas.iter_mut() {
+        delta.reset();
+    }
+    if threads <= 1 {
+        work(0..num_parts, &mut deltas[0]);
+        return;
+    }
+    let chunk = num_parts.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (t, delta) in deltas.iter_mut().enumerate() {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(num_parts);
+            if start >= end {
+                break;
+            }
+            let work = &work;
+            scope.spawn(move || work(start..end, delta));
+        }
+    });
+}
+
 /// Runs `program` over `pg` on the simulated `cluster`.
 ///
 /// Returns [`SimError::OutOfMemory`] if the modelled memory demand exceeds
@@ -71,26 +394,22 @@ pub fn run_pregel<P: VertexProgram>(
     opts: &PregelConfig,
 ) -> Result<PregelResult<P::State>, SimError> {
     let n = pg.num_vertices() as usize;
-    let np = pg.num_parts();
-    let mut sim = ClusterSim::new(cluster.clone(), np);
+    let np = pg.num_parts() as usize;
+    let threads = opts.executor.threads().min(np.max(1));
+    let mut sim = ClusterSim::new(cluster.clone(), pg.num_parts());
     let msg_overhead = cluster.cost.message_overhead_bytes;
 
-    // Global degrees, derived from the partitioned edges.
+    let index = ScanIndex::build(pg, cluster, threads > 1);
+
+    // Global degrees, derived from the pre-resolved endpoints.
     let mut out_deg = vec![0u32; n];
     let mut in_deg = vec![0u32; n];
-    for part in pg.parts() {
-        for &(ls, ld) in &part.edges {
-            out_deg[part.global(ls) as usize] += 1;
-            in_deg[part.global(ld) as usize] += 1;
+    for part in &index.parts {
+        for &(ls, ld) in part.edges {
+            out_deg[part.globals[ls as usize] as usize] += 1;
+            in_deg[part.globals[ld as usize] as usize] += 1;
         }
     }
-
-    // Fallback partition for isolated vertices (GraphX hash-partitions the
-    // vertex RDD; vertices without edges still live somewhere).
-    let home_of = |v: VertexId| -> PartId {
-        pg.master_of(v)
-            .unwrap_or_else(|| (hash64(v) % np as u64) as PartId)
-    };
 
     if opts.charge_initial_load {
         // Edge list (two ids per edge) plus one state record per vertex.
@@ -110,65 +429,152 @@ pub fn run_pregel<P: VertexProgram>(
             program.apply(v, &s, &init_msg)
         })
         .collect();
-    let mut active = vec![true; n];
     for v in 0..n as u64 {
-        let home = home_of(v);
+        let home = index.home[v as usize];
         sim.ledger().vertex_ops(home, 1);
         let replicas = pg.routing().parts_of(v);
         if replicas.len() > 1 {
             let bytes = program.state_bytes(&states[v as usize]) + msg_overhead;
-            let master_exec = cluster.executor_of(home);
+            let master_exec = index.exec_of_part[home as usize];
             for &p in replicas {
                 if p != home {
                     sim.ledger()
-                        .send_exec(master_exec, cluster.executor_of(p), 1, bytes);
+                        .send_exec(master_exec, index.exec_of_part[p as usize], 1, bytes);
                 }
             }
         }
     }
-    charge_residency(&mut sim, pg, program, &states);
+
+    // --- Residency: structure + replica states, declared once and updated
+    //     incrementally; re-summing every replica per superstep is gone. ---
+    let fixed_state = program.fixed_state_bytes();
+    let mut resident: Vec<u64> = index.parts.iter().map(|pi| pi.structure_bytes).collect();
+    for (p, part) in pg.parts().iter().enumerate() {
+        resident[p] += match fixed_state {
+            Some(size) => part.num_vertices() * size,
+            None => part
+                .vertices
+                .iter()
+                .map(|&v| program.state_bytes(&states[v as usize]))
+                .sum(),
+        };
+    }
+    // Isolated vertices have no replica, but their state still occupies the
+    // hash-fallback home (the vertex RDD is hash-partitioned regardless of
+    // edges) — and since messages only travel along edges, those states
+    // never change after setup: charge them once.
+    for (v, &master) in pg.masters().iter().enumerate() {
+        if master == NO_PART {
+            resident[index.home[v] as usize] += program.state_bytes(&states[v]);
+        }
+    }
+    for (p, &bytes) in resident.iter().enumerate() {
+        sim.set_resident(p as PartId, bytes);
+    }
+    drop(resident);
     sim.end_superstep()?;
+
+    // --- Run-scoped buffers, allocated once and cleared in place. ---
+    let mut partials: Vec<Vec<Option<P::Msg>>> = pg
+        .parts()
+        .iter()
+        .map(|part| {
+            std::iter::repeat_with(|| None)
+                .take(part.vertices.len())
+                .collect()
+        })
+        .collect();
+    let mut matched = vec![0u64; np];
+    let mut inbox: Vec<Option<P::Msg>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut active = vec![true; n];
+    let mut next_active = vec![false; n];
+    let executors = cluster.executors as usize;
+    let mut deltas: Vec<MeterDelta> = (0..threads)
+        .map(|_| MeterDelta::new(executors, np))
+        .collect();
 
     // --- Superstep loop. ---
     let mut supersteps = 0u64;
     let mut converged = false;
     while supersteps < opts.max_iterations {
-        // 1. Scan: per-partition pre-aggregated messages.
-        let partials = scan_all(
+        // 1. Scan: per-partition pre-aggregated messages, in parallel over
+        //    edge partitions.
+        scan_all(
             program,
-            pg,
+            &index,
             &states,
             &active,
             &out_deg,
             &in_deg,
-            opts.executor,
+            &mut partials,
+            &mut matched,
+            threads,
         );
+        for (p, &m) in matched.iter().enumerate() {
+            sim.ledger().edge_scans(p as PartId, m);
+        }
 
-        // 2. Shuffle partials to masters, merging in partition order.
-        let mut inbox: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
-        let mut msg_count = 0u64;
-        for (p, (partial, matched)) in partials.into_iter().enumerate() {
-            sim.ledger().edge_scans(p as PartId, matched);
-            let part = &pg.parts()[p];
-            for (local, maybe_msg) in partial.into_iter().enumerate() {
-                let Some(msg) = maybe_msg else { continue };
-                let v = part.global(local as u32);
-                let master = home_of(v);
-                let bytes = program.msg_bytes(&msg) + msg_overhead;
-                sim.ledger().send_exec(
-                    cluster.executor_of(p as PartId),
-                    cluster.executor_of(master),
-                    1,
-                    bytes,
-                );
-                sim.ledger().local_bytes(master, bytes);
-                msg_count += 1;
-                let slot = &mut inbox[v as usize];
-                *slot = Some(match slot.take() {
-                    Some(acc) => program.merge(acc, msg),
-                    None => msg,
-                });
+        // 2. Shuffle partials to masters. Single-threaded: one linear sweep
+        //    over each partition's partial buffer (best cache behaviour).
+        //    Multi-threaded: each thread owns a disjoint set of *home*
+        //    partitions and drains, for each of them, the matching locals
+        //    of every source partition in ascending order. Both visit each
+        //    vertex's messages in ascending source-partition order, so the
+        //    merged inbox is bit-identical either way.
+        if threads <= 1 {
+            let delta = &mut deltas[0];
+            delta.reset();
+            for (p, partial) in partials.iter_mut().enumerate() {
+                let part = &index.parts[p];
+                let from_exec = index.exec_of_part[p];
+                for (local, slot) in partial.iter_mut().enumerate() {
+                    let Some(msg) = slot.take() else { continue };
+                    let v = part.globals[local] as usize;
+                    let q = index.home[v] as usize;
+                    let bytes = program.msg_bytes(&msg) + msg_overhead;
+                    delta.send_exec(from_exec, index.exec_of_part[q], 1, bytes);
+                    delta.local_bytes[q] += bytes;
+                    delta.msgs += 1;
+                    let entry = &mut inbox[v];
+                    *entry = Some(match entry.take() {
+                        Some(acc) => program.merge(acc, msg),
+                        None => msg,
+                    });
+                }
             }
+        } else {
+            let inbox_cells = DisjointSlice::new(&mut inbox);
+            let partial_cells: Vec<DisjointSlice<'_, Option<P::Msg>>> =
+                partials.iter_mut().map(|p| DisjointSlice::new(p)).collect();
+            run_on_pool(np, threads, &mut deltas, |homes, delta| {
+                for q in homes {
+                    let to_exec = index.exec_of_part[q];
+                    for (p, part) in index.parts.iter().enumerate() {
+                        let from_exec = index.exec_of_part[p];
+                        for &local in part.locals_of_home(q) {
+                            // SAFETY: (p, local) resolves to a vertex whose
+                            // home is q, and q belongs to this thread only.
+                            let slot = unsafe { partial_cells[p].get_mut(local as usize) };
+                            let Some(msg) = slot.take() else { continue };
+                            let v = part.globals[local as usize];
+                            let bytes = program.msg_bytes(&msg) + msg_overhead;
+                            delta.send_exec(from_exec, to_exec, 1, bytes);
+                            delta.local_bytes[q] += bytes;
+                            delta.msgs += 1;
+                            // SAFETY: v's home is q — disjoint across threads.
+                            let entry = unsafe { inbox_cells.get_mut(v as usize) };
+                            *entry = Some(match entry.take() {
+                                Some(acc) => program.merge(acc, msg),
+                                None => msg,
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        let msg_count: u64 = deltas.iter().map(|d| d.msgs).sum();
+        for delta in &deltas {
+            delta.flush_ledger(sim.ledger());
         }
 
         if msg_count == 0 {
@@ -178,29 +584,97 @@ pub fn run_pregel<P: VertexProgram>(
         }
 
         // 3. Apply at masters; 4. broadcast updated states to mirrors.
-        let mut next_active = vec![program.always_active(); n];
-        for v in 0..n {
-            let Some(msg) = inbox[v].take() else { continue };
-            let vid = v as u64;
-            let master = home_of(vid);
-            states[v] = program.apply(vid, &states[v], &msg);
-            next_active[v] = true;
-            let state_size = program.state_bytes(&states[v]);
-            sim.ledger().vertex_ops(master, 1);
-            sim.ledger().local_bytes(master, state_size);
-            let bytes = state_size + msg_overhead;
-            let master_exec = cluster.executor_of(master);
-            for &p in pg.routing().parts_of(vid) {
-                if p != master {
-                    sim.ledger()
-                        .send_exec(master_exec, cluster.executor_of(p), 1, bytes);
+        //    Single-threaded: one linear inbox sweep. Multi-threaded: over
+        //    disjoint home-partition shards. Residency is tracked as signed
+        //    per-partition deltas (exactly zero for fixed-size states, so
+        //    that bookkeeping is skipped entirely); applies are independent
+        //    per vertex, so both orders produce identical states and bills.
+        next_active.fill(program.always_active());
+        if threads <= 1 {
+            let delta = &mut deltas[0];
+            delta.reset();
+            for (v, slot) in inbox.iter_mut().enumerate() {
+                let Some(msg) = slot.take() else { continue };
+                let q = index.home[v] as usize;
+                let state = &mut states[v];
+                let old_bytes = if fixed_state.is_none() {
+                    program.state_bytes(state)
+                } else {
+                    0
+                };
+                *state = program.apply(v as VertexId, state, &msg);
+                next_active[v] = true;
+                let state_size = program.state_bytes(state);
+                delta.vertex_ops[q] += 1;
+                delta.local_bytes[q] += state_size;
+                let bytes = state_size + msg_overhead;
+                let master_exec = index.exec_of_part[q];
+                for &p in pg.routing().parts_of(v as VertexId) {
+                    if p as usize != q {
+                        delta.send_exec(master_exec, index.exec_of_part[p as usize], 1, bytes);
+                    }
+                }
+                if fixed_state.is_none() {
+                    let diff = state_size as i64 - old_bytes as i64;
+                    if diff != 0 {
+                        for &p in pg.routing().parts_of(v as VertexId) {
+                            delta.resident[p as usize] += diff;
+                        }
+                    }
                 }
             }
+        } else {
+            let inbox_cells = DisjointSlice::new(&mut inbox);
+            let state_cells = DisjointSlice::new(&mut states);
+            let active_cells = DisjointSlice::new(&mut next_active);
+            run_on_pool(np, threads, &mut deltas, |homes, delta| {
+                for q in homes {
+                    let master_exec = index.exec_of_part[q];
+                    for &v in index.verts_of_home(q) {
+                        // SAFETY: v's home is q, owned by this thread only;
+                        // the same argument covers states and next_active.
+                        let slot = unsafe { inbox_cells.get_mut(v as usize) };
+                        let Some(msg) = slot.take() else { continue };
+                        let state = unsafe { state_cells.get_mut(v as usize) };
+                        let old_bytes = if fixed_state.is_none() {
+                            program.state_bytes(state)
+                        } else {
+                            0
+                        };
+                        *state = program.apply(v, state, &msg);
+                        unsafe { *active_cells.get_mut(v as usize) = true };
+                        let state_size = program.state_bytes(state);
+                        delta.vertex_ops[q] += 1;
+                        delta.local_bytes[q] += state_size;
+                        let bytes = state_size + msg_overhead;
+                        for &p in pg.routing().parts_of(v) {
+                            if p as usize != q {
+                                delta.send_exec(
+                                    master_exec,
+                                    index.exec_of_part[p as usize],
+                                    1,
+                                    bytes,
+                                );
+                            }
+                        }
+                        if fixed_state.is_none() {
+                            let diff = state_size as i64 - old_bytes as i64;
+                            if diff != 0 {
+                                for &p in pg.routing().parts_of(v) {
+                                    delta.resident[p as usize] += diff;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
         }
-        active = next_active;
+        for delta in &deltas {
+            delta.flush_ledger(sim.ledger());
+            delta.flush_resident(&mut sim);
+        }
+        std::mem::swap(&mut active, &mut next_active);
         supersteps += 1;
-
-        charge_residency(&mut sim, pg, program, &states);
         sim.end_superstep()?;
     }
 
@@ -212,125 +686,100 @@ pub fn run_pregel<P: VertexProgram>(
     })
 }
 
-/// Declares the per-partition resident footprint (edges + replica states)
-/// for memory accounting.
-fn charge_residency<P: VertexProgram>(
-    sim: &mut ClusterSim,
-    pg: &PartitionedGraph,
-    program: &P,
-    states: &[P::State],
-) {
-    sim.clear_resident();
-    for (p, part) in pg.parts().iter().enumerate() {
-        let state_bytes: u64 = part
-            .vertices
-            .iter()
-            .map(|&v| program.state_bytes(&states[v as usize]))
-            .sum();
-        // 8 bytes per edge (two local u32 ids) + 8 per replica id entry.
-        let bytes = part.edges.len() as u64 * 8 + part.vertices.len() as u64 * 8 + state_bytes;
-        sim.set_resident(p as PartId, bytes);
-    }
-}
-
-type Partial<M> = (Vec<Option<M>>, u64);
-
-/// Scans all partitions, sequentially or in parallel, returning per-partition
-/// pre-aggregated messages plus the matched-edge count for metering.
+/// Scans all partitions, sequentially or on the pool, writing per-partition
+/// pre-aggregated messages into the reusable `partials` buffers and the
+/// matched-edge counts (for metering) into `matched`.
+#[allow(clippy::too_many_arguments)]
 fn scan_all<P: VertexProgram>(
     program: &P,
-    pg: &PartitionedGraph,
+    index: &ScanIndex,
     states: &[P::State],
     active: &[bool],
     out_deg: &[u32],
     in_deg: &[u32],
-    mode: ExecutorMode,
-) -> Vec<Partial<P::Msg>> {
-    match mode {
-        ExecutorMode::Sequential => pg
-            .parts()
-            .iter()
-            .map(|part| scan_partition(program, part, states, active, out_deg, in_deg))
-            .collect(),
-        ExecutorMode::Parallel { threads } => {
-            let threads = threads.max(1);
-            let parts = pg.parts();
-            let mut results: Vec<Option<Partial<P::Msg>>> =
-                (0..parts.len()).map(|_| None).collect();
-            let chunk = parts.len().div_ceil(threads);
-            if chunk == 0 {
-                return Vec::new();
-            }
-            std::thread::scope(|scope| {
-                for (part_chunk, result_chunk) in parts.chunks(chunk).zip(results.chunks_mut(chunk))
+    partials: &mut [Vec<Option<P::Msg>>],
+    matched: &mut [u64],
+    threads: usize,
+) {
+    if threads <= 1 {
+        for ((part, partial), m) in index.parts.iter().zip(partials).zip(matched) {
+            *m = scan_partition(program, part, states, active, out_deg, in_deg, partial);
+        }
+        return;
+    }
+    let chunk = index.parts.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for ((part_chunk, partial_chunk), matched_chunk) in index
+            .parts
+            .chunks(chunk)
+            .zip(partials.chunks_mut(chunk))
+            .zip(matched.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for ((part, partial), m) in part_chunk.iter().zip(partial_chunk).zip(matched_chunk)
                 {
-                    scope.spawn(move || {
-                        for (part, slot) in part_chunk.iter().zip(result_chunk.iter_mut()) {
-                            *slot = Some(scan_partition(
-                                program, part, states, active, out_deg, in_deg,
-                            ));
-                        }
-                    });
+                    *m = scan_partition(program, part, states, active, out_deg, in_deg, partial);
                 }
             });
-            results
-                .into_iter()
-                .map(|r| r.expect("all scanned"))
-                .collect()
         }
-    }
+    });
 }
 
-/// Scans one partition: map-side combine into a local-vertex-indexed array.
+/// Scans one partition: map-side combine into the partition's reusable
+/// local-vertex-indexed buffer (left all-`None` by the previous shuffle).
 fn scan_partition<P: VertexProgram>(
     program: &P,
-    part: &EdgePartition,
+    part: &PartIndex,
     states: &[P::State],
     active: &[bool],
     out_deg: &[u32],
     in_deg: &[u32],
-) -> Partial<P::Msg> {
-    let mut out: Vec<Option<P::Msg>> = (0..part.vertices.len()).map(|_| None).collect();
+    out: &mut [Option<P::Msg>],
+) -> u64 {
     let mut matched = 0u64;
     let dir = program.active_direction();
-    let emit = |slot: &mut Option<P::Msg>, msg: P::Msg| {
-        *slot = Some(match slot.take() {
-            Some(acc) => program.merge(acc, msg),
-            None => msg,
-        });
-    };
-    for &(ls, ld) in &part.edges {
-        let s = part.global(ls);
-        let d = part.global(ld);
+    for &(ls, ld) in part.edges {
+        let src = part.globals[ls as usize];
+        let dst = part.globals[ld as usize];
+        let s = src as usize;
+        let d = dst as usize;
         let scan = match dir {
-            ActiveDirection::Either => active[s as usize] || active[d as usize],
-            ActiveDirection::Out => active[s as usize],
-            ActiveDirection::In => active[d as usize],
-            ActiveDirection::Both => active[s as usize] && active[d as usize],
+            ActiveDirection::Either => active[s] || active[d],
+            ActiveDirection::Out => active[s],
+            ActiveDirection::In => active[d],
+            ActiveDirection::Both => active[s] && active[d],
         };
         if !scan {
             continue;
         }
         matched += 1;
         let triplet = Triplet {
-            src: s,
-            dst: d,
-            src_state: &states[s as usize],
-            dst_state: &states[d as usize],
-            src_out_degree: out_deg[s as usize],
-            dst_in_degree: in_deg[d as usize],
+            src,
+            dst,
+            src_state: &states[s],
+            dst_state: &states[d],
+            src_out_degree: out_deg[s],
+            dst_in_degree: in_deg[d],
         };
         match program.send(&triplet) {
             Messages::None => {}
-            Messages::ToSrc(m) => emit(&mut out[ls as usize], m),
-            Messages::ToDst(m) => emit(&mut out[ld as usize], m),
+            Messages::ToSrc(m) => emit(program, &mut out[ls as usize], m),
+            Messages::ToDst(m) => emit(program, &mut out[ld as usize], m),
             Messages::Both(ms, md) => {
-                emit(&mut out[ls as usize], ms);
-                emit(&mut out[ld as usize], md);
+                emit(program, &mut out[ls as usize], ms);
+                emit(program, &mut out[ld as usize], md);
             }
         }
     }
-    (out, matched)
+    matched
+}
+
+#[inline]
+fn emit<P: VertexProgram>(program: &P, slot: &mut Option<P::Msg>, msg: P::Msg) {
+    *slot = Some(match slot.take() {
+        Some(acc) => program.merge(acc, msg),
+        None => msg,
+    });
 }
 
 #[cfg(test)]
@@ -365,6 +814,9 @@ mod tests {
         }
         fn merge(&self, a: u64, b: u64) -> u64 {
             a.max(b)
+        }
+        fn fixed_state_bytes(&self) -> Option<u64> {
+            Some(8)
         }
     }
 
@@ -436,6 +888,146 @@ mod tests {
     }
 
     #[test]
+    fn auto_equals_sequential() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 8);
+        let pg = GraphXStrategy::CanonicalRandomVertexCut.partition(&g, 8);
+        let seq = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let auto = run_pregel(
+            &MaxLabel,
+            &pg,
+            &cfg(),
+            &PregelConfig {
+                executor: ExecutorMode::Auto,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ExecutorMode::Auto.threads() >= 1);
+        assert_eq!(seq.states, auto.states);
+        assert_eq!(seq.sim, auto.sim);
+    }
+
+    /// MaxLabel with a fat fixed-size state, for memory-accounting tests.
+    struct FatLabel;
+    impl VertexProgram for FatLabel {
+        type State = u64;
+        type Msg = u64;
+        fn name(&self) -> &'static str {
+            "fat-label"
+        }
+        fn initial_state(&self, v: VertexId, _ctx: &InitCtx<'_>) -> u64 {
+            v
+        }
+        fn initial_msg(&self) -> u64 {
+            0
+        }
+        fn apply(&self, _v: VertexId, state: &u64, msg: &u64) -> u64 {
+            *state.max(msg)
+        }
+        fn send(&self, t: &Triplet<'_, u64>) -> Messages<u64> {
+            if t.src_state > t.dst_state {
+                Messages::ToDst(*t.src_state)
+            } else {
+                Messages::None
+            }
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a.max(b)
+        }
+        fn state_bytes(&self, _state: &u64) -> u64 {
+            1 << 20 // 1 MB per vertex
+        }
+        fn fixed_state_bytes(&self) -> Option<u64> {
+            Some(1 << 20)
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_count_toward_resident_memory() {
+        // Same single edge; one graph carries 98 extra isolated vertices.
+        // Their 1 MB states must surface in peak executor memory, charged at
+        // the hash-fallback homes.
+        let small = Graph::new(2, vec![Edge::new(0, 1)]);
+        let sparse = Graph::new(100, vec![Edge::new(0, 1)]);
+        let run = |g: &Graph| {
+            let pg = GraphXStrategy::RandomVertexCut.partition(g, 4);
+            run_pregel(&FatLabel, &pg, &cfg(), &PregelConfig::default()).unwrap()
+        };
+        let base = run(&small).sim.peak_executor_memory_gb;
+        let with_isolated = run(&sparse).sim.peak_executor_memory_gb;
+        // 98 isolated MB spread over 4 partitions: the busiest executor
+        // gains at least a couple dozen MB even under a skewed hash.
+        assert!(
+            with_isolated > base + 0.02,
+            "isolated vertices must be resident somewhere: {with_isolated} vs {base}"
+        );
+    }
+
+    /// A program whose state grows as labels arrive — exercises the
+    /// incremental (delta-based) residency path for variable-size states.
+    struct GrowingTrail;
+    impl VertexProgram for GrowingTrail {
+        type State = Vec<u64>;
+        type Msg = u64;
+        fn name(&self) -> &'static str {
+            "growing-trail"
+        }
+        fn initial_state(&self, v: VertexId, _ctx: &InitCtx<'_>) -> Vec<u64> {
+            vec![v]
+        }
+        fn initial_msg(&self) -> u64 {
+            0
+        }
+        fn apply(&self, _v: VertexId, state: &Vec<u64>, msg: &u64) -> Vec<u64> {
+            let mut next = state.clone();
+            if next.last() != Some(msg) {
+                next.push(*msg);
+            }
+            next
+        }
+        fn send(&self, t: &Triplet<'_, Vec<u64>>) -> Messages<u64> {
+            let (s, d) = (t.src_state.last().unwrap(), t.dst_state.last().unwrap());
+            if s > d {
+                Messages::ToDst(*s)
+            } else {
+                Messages::None
+            }
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a.max(b)
+        }
+        fn state_bytes(&self, state: &Vec<u64>) -> u64 {
+            8 * state.len() as u64
+        }
+    }
+
+    #[test]
+    fn variable_state_metering_is_mode_independent() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 8);
+        let pg = GraphXStrategy::EdgePartition1D.partition(&g, 8);
+        let seq = run_pregel(&GrowingTrail, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let par = run_pregel(
+            &GrowingTrail,
+            &pg,
+            &cfg(),
+            &PregelConfig {
+                executor: ExecutorMode::Parallel { threads: 3 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.states, par.states);
+        assert_eq!(
+            seq.sim, par.sim,
+            "incremental residency deltas must be order-independent"
+        );
+        assert!(
+            seq.sim.peak_executor_memory_gb > 0.0,
+            "growing states must register in memory accounting"
+        );
+    }
+
+    #[test]
     fn worse_partitioning_ships_more_remote_bytes() {
         // CRVC collocates both directions; RVC splits them — on a symmetric
         // graph RVC must replicate more and thus ship more bytes.
@@ -486,5 +1078,13 @@ mod tests {
         };
         let err = run_pregel(&MaxLabel, &pg, &tiny, &PregelConfig::default()).unwrap_err();
         assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn executor_mode_resolves_thread_counts() {
+        assert_eq!(ExecutorMode::Sequential.threads(), 1);
+        assert_eq!(ExecutorMode::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(ExecutorMode::Parallel { threads: 6 }.threads(), 6);
+        assert!(ExecutorMode::Auto.threads() >= 1);
     }
 }

@@ -112,6 +112,18 @@ pub trait VertexProgram: Sync {
         std::mem::size_of::<Self::State>() as u64
     }
 
+    /// `Some(size)` when every state serializes to the same `size` bytes —
+    /// i.e. [`VertexProgram::state_bytes`] is a constant function. Declaring
+    /// it lets the engine account partition residency incrementally (one
+    /// multiplication per partition at setup, zero work per superstep)
+    /// instead of re-summing every replica's state each superstep.
+    ///
+    /// Programs whose state size varies (SSSP's distance maps, set-union
+    /// states) must leave the default `None`.
+    fn fixed_state_bytes(&self) -> Option<u64> {
+        None
+    }
+
     /// Serialized size of a message, used for shuffle billing.
     fn msg_bytes(&self, _msg: &Self::Msg) -> u64 {
         std::mem::size_of::<Self::Msg>() as u64

@@ -22,6 +22,6 @@ pub mod streaming;
 pub use graphx::GraphXStrategy;
 pub use metrics::{MetricKind, PartitionMetrics};
 pub use multilevel::MultilevelEdgeCut;
-pub use partitioned::{EdgePartition, PartitionedGraph, RoutingTable};
+pub use partitioned::{EdgePartition, PartitionedGraph, RoutingTable, NO_PART};
 pub use strategy::{all_partitioners, Partitioner};
 pub use streaming::{Dbh, GreedyVertexCut, Hdrf, HybridCut, SourceRangeCut};

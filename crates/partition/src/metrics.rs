@@ -112,6 +112,11 @@ impl PartitionMetrics {
         let summary = Summary::of_counts(counts.iter().copied());
         let edges: u64 = counts.iter().sum();
         let avg = edges as f64 / pg.num_parts() as f64;
+        // Integer extrema straight from the counts: round-tripping through
+        // the `f64` summary fields silently truncates above 2^53 and needs
+        // an empty-sample special case (±inf sentinels).
+        let max_part_edges = counts.iter().copied().max().unwrap_or(0);
+        let min_part_edges = counts.iter().copied().min().unwrap_or(0);
 
         let mut non_cut = 0u64;
         let mut cut = 0u64;
@@ -132,7 +137,11 @@ impl PartitionMetrics {
             num_parts: pg.num_parts(),
             edges,
             vertices_present,
-            balance: if avg > 0.0 { summary.max / avg } else { 1.0 },
+            balance: if avg > 0.0 {
+                max_part_edges as f64 / avg
+            } else {
+                1.0
+            },
             non_cut,
             cut,
             comm_cost,
@@ -145,12 +154,8 @@ impl PartitionMetrics {
             },
             vertices_to_same: vertices_present,
             vertices_to_other: total_replicas - vertices_present,
-            max_part_edges: summary.max as u64,
-            min_part_edges: if summary.count == 0 {
-                0
-            } else {
-                summary.min as u64
-            },
+            max_part_edges,
+            min_part_edges,
         }
     }
 

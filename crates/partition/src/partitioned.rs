@@ -46,6 +46,13 @@ impl EdgePartition {
     pub fn local(&self, global: VertexId) -> Option<u32> {
         self.vertices.binary_search(&global).ok().map(|i| i as u32)
     }
+
+    /// Bytes of partition structure resident on its executor: 8 per edge
+    /// (two local `u32` ids) plus 8 per replica id entry. Vertex state is
+    /// accounted separately — it depends on the running program.
+    pub fn structure_bytes(&self) -> u64 {
+        self.num_edges() * 8 + self.num_vertices() * 8
+    }
 }
 
 /// Per-vertex replica locations, CSR-packed.
@@ -210,6 +217,13 @@ impl PartitionedGraph {
             NO_PART => None,
             p => Some(p),
         }
+    }
+
+    /// Raw master table, indexed by vertex id; isolated vertices hold
+    /// [`NO_PART`]. Exposed so executors can build per-run routing indexes
+    /// without an `Option` unwrap per vertex.
+    pub fn masters(&self) -> &[PartId] {
+        &self.masters
     }
 
     /// Per-partition edge counts (length `num_parts`).

@@ -63,3 +63,58 @@ fn partitioning_of_golden_graph_is_pinned() {
     // Pinned on first recording; regenerate with the `golden_gen` example.
     assert_eq!(acc, 0xbbf8051c6de9c0bd);
 }
+
+/// The engine's parallel shuffle/apply must be *metering-identical* to the
+/// sequential sweep: not just the same vertex states but the same
+/// [`SimReport`] bit for bit, for every partitioning strategy, for both a
+/// fixed-size-state program (PageRank) and a variable-size-state program
+/// (SSSP, which also exercises the incremental residency deltas).
+#[test]
+fn executors_are_bit_identical_across_modes_on_all_strategies() {
+    use cutfit::algorithms::{pagerank, sssp, Sssp};
+
+    let g = DatasetProfile::youtube().generate(0.002, 42);
+    let cluster = ClusterConfig::paper_cluster();
+    let modes = [
+        ExecutorMode::Sequential,
+        ExecutorMode::Parallel { threads: 4 },
+        ExecutorMode::Auto,
+    ];
+    let landmarks = Sssp::pick_landmarks(g.num_vertices(), 3, 7);
+
+    for strategy in GraphXStrategy::all() {
+        let pg = strategy.partition(&g, 16);
+
+        let pr: Vec<_> = modes
+            .iter()
+            .map(|&executor| {
+                let opts = PregelConfig {
+                    executor,
+                    ..Default::default()
+                };
+                pagerank(&pg, &cluster, 5, &opts).expect("fits in memory")
+            })
+            .collect();
+        for r in &pr[1..] {
+            assert_eq!(pr[0].states, r.states, "{strategy}: PR states drifted");
+            assert_eq!(pr[0].sim, r.sim, "{strategy}: PR metering drifted");
+            assert_eq!(pr[0].supersteps, r.supersteps, "{strategy}");
+        }
+
+        let sp: Vec<_> = modes
+            .iter()
+            .map(|&executor| {
+                let opts = PregelConfig {
+                    executor,
+                    ..Default::default()
+                };
+                sssp(&pg, &cluster, landmarks.clone(), 10_000, &opts).expect("fits in memory")
+            })
+            .collect();
+        for r in &sp[1..] {
+            assert_eq!(sp[0].states, r.states, "{strategy}: SSSP states drifted");
+            assert_eq!(sp[0].sim, r.sim, "{strategy}: SSSP metering drifted");
+            assert_eq!(sp[0].supersteps, r.supersteps, "{strategy}");
+        }
+    }
+}
