@@ -1,0 +1,75 @@
+//! Partitioning-pipeline throughput: the acceptance bench for the
+//! assignment-first rewrite.
+//!
+//! Compares, on one RMAT graph at 64 partitions:
+//!
+//! * **build-then-measure** — the old advisor path: for each of the six
+//!   strategies, build the full `PartitionedGraph` (bucketing, vertex-table
+//!   sorts, routing tables) and read `PartitionMetrics::of` from it;
+//! * **assignment-first** — the new path: one fused edge scan assigns all
+//!   six strategies, then the streaming `of_assignment` pass scores each,
+//!   sequential vs auto-sized pool.
+//!
+//! The reported element rate is **edge assignments per second** (six
+//! strategies × edges per iteration). Defaults to RMAT scale 16, the
+//! acceptance workload (build-free must be ≥ 5× build-then-measure); set
+//! `CUTFIT_BENCH_RMAT_SCALE` to shrink it (CI uses 12, non-gating).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_core::partition::{assign_all, sweep_metrics};
+use cutfit_core::prelude::*;
+
+const NUM_PARTS: u32 = 64;
+
+fn rmat_scale() -> u32 {
+    std::env::var("CUTFIT_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn bench_partition_throughput(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    let graph = cutfit_core::datagen::rmat(&config, 42);
+    let strategies = GraphXStrategy::all();
+    let assignments_per_iter = graph.num_edges() * strategies.len() as u64;
+
+    let mut group = c.benchmark_group(format!("partition_throughput/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(assignments_per_iter));
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("build-then-measure"),
+        &graph,
+        |b, graph| {
+            b.iter(|| {
+                strategies
+                    .iter()
+                    .map(|s| PartitionMetrics::of(&s.partition(graph, NUM_PARTS)))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+    for (label, threads) in [
+        ("assignment-first-seq", 1usize),
+        ("assignment-first-auto", 0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| sweep_metrics(graph, &strategies, NUM_PARTS, threads))
+        });
+    }
+    for (label, threads) in [("assign-only-seq", 1usize), ("assign-only-auto", 0)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| assign_all(graph, &strategies, NUM_PARTS, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_throughput);
+criterion_main!(benches);

@@ -56,6 +56,17 @@ fn main() {
             let mut times: Vec<(GraphXStrategy, f64)> = Vec::new();
             for strategy in GraphXStrategy::all() {
                 match algorithm.run(&graph, &strategy, np, &cluster, args.executor()) {
+                    // A non-finite time is a broken run; log and skip it
+                    // rather than letting a NaN abort the oracle ranking.
+                    Ok(out) if !out.sim.total_seconds.is_finite() => {
+                        eprintln!(
+                            "skipping {} on {} ({}): non-finite simulated time {}",
+                            strategy.abbrev(),
+                            profile.name,
+                            algorithm.abbrev(),
+                            out.sim.total_seconds
+                        );
+                    }
                     Ok(out) => times.push((strategy, out.sim.total_seconds)),
                     Err(_) => continue,
                 }
@@ -65,12 +76,18 @@ fn main() {
             }
             let oracle = times
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .copied()
                 .expect("non-empty");
             let heuristic = advisor.recommend(algorithm.class(), &graph, np).strategy;
             let measured = advisor
-                .recommend_measured(algorithm.class(), &graph, np, &[])
+                .recommend_measured_threaded(
+                    algorithm.class(),
+                    &graph,
+                    np,
+                    &[],
+                    args.worker_threads(),
+                )
                 .strategy;
             let time_of = |s: GraphXStrategy| {
                 times
@@ -125,9 +142,13 @@ fn main() {
     for profile in [DatasetProfile::road_net_pa(), DatasetProfile::follow_jul()] {
         let natural = profile.generate(args.scale, args.seed);
         let shuffled = cutfit_core::datagen::relabel::shuffle_ids(&natural, args.seed + 1);
-        for strategy in GraphXStrategy::all() {
-            let a = PartitionMetrics::of(&strategy.partition(&natural, np));
-            let b = PartitionMetrics::of(&strategy.partition(&shuffled, np));
+        // Metrics only — the build-free fused sweep scores all six
+        // strategies per graph in one edge scan.
+        let strategies = GraphXStrategy::all();
+        let threads = args.worker_threads();
+        let nat = cutfit_core::partition::sweep_metrics(&natural, &strategies, np, threads);
+        let shuf = cutfit_core::partition::sweep_metrics(&shuffled, &strategies, np, threads);
+        for ((strategy, a), b) in strategies.iter().zip(&nat).zip(&shuf) {
             l.row([
                 profile.name.to_string(),
                 strategy.abbrev().to_string(),

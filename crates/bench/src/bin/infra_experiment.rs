@@ -69,12 +69,24 @@ fn main() {
             let out = algorithm
                 .run(&graph, &strategy, np, cluster, args.executor())
                 .expect("PageRank does not exhaust memory here");
+            // A non-finite simulated time means a broken run, not a fast
+            // one — log it and keep ranking the rest instead of letting a
+            // NaN abort the whole sweep in the comparison below.
+            if !out.sim.total_seconds.is_finite() {
+                eprintln!(
+                    "skipping {} on {}: non-finite simulated time {}",
+                    strategy.abbrev(),
+                    cluster.name,
+                    out.sim.total_seconds
+                );
+                continue;
+            }
             times.push((strategy.abbrev(), out.sim));
         }
         let best = times
             .iter()
-            .min_by(|a, b| a.1.total_seconds.partial_cmp(&b.1.total_seconds).unwrap())
-            .expect("six strategies");
+            .min_by(|a, b| a.1.total_seconds.total_cmp(&b.1.total_seconds))
+            .expect("at least one finite strategy time");
         let worst_t = times
             .iter()
             .map(|(_, s)| s.total_seconds)

@@ -1,6 +1,12 @@
 //! Shared implementation of the Table 2 / Table 3 binaries: partitioning
 //! metrics for all six strategies over the selected datasets.
+//!
+//! Metrics come from the assignment-first path: one fused edge scan per
+//! (dataset, N) cell scores all six strategies
+//! ([`cutfit_core::partition::sweep_metrics`]) — no `PartitionedGraph` is
+//! built anywhere in these tables.
 
+use cutfit_core::partition::sweep_metrics;
 use cutfit_core::prelude::*;
 use cutfit_core::util::fmt::thousands;
 use cutfit_core::util::table::{Align, AsciiTable};
@@ -38,8 +44,9 @@ pub fn run(bin: &str, purpose: &str, default_parts: &[u32]) {
         ]);
         for profile in args.profiles() {
             let graph = profile.generate(args.scale, args.seed);
-            for strategy in GraphXStrategy::all() {
-                let m = PartitionMetrics::of(&strategy.partition(&graph, np));
+            let strategies = GraphXStrategy::all();
+            let measured = sweep_metrics(&graph, &strategies, np, args.worker_threads());
+            for (strategy, m) in strategies.iter().zip(&measured) {
                 t.row([
                     profile.name.to_string(),
                     strategy.abbrev().to_string(),

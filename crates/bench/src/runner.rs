@@ -155,6 +155,12 @@ impl BenchArgs {
         }
     }
 
+    /// `--threads` resolved to a concrete worker count (≥ 1), for the
+    /// partitioning APIs that take a plain thread count.
+    pub fn worker_threads(&self) -> usize {
+        self.executor().threads()
+    }
+
     /// Standard experiment header.
     pub fn banner(&self, title: &str) {
         if !self.csv {

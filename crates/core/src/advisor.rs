@@ -12,16 +12,19 @@
 //!   22 % faster, TR up to 40 % at 256 partitions).
 //!
 //! [`Advisor::recommend`] applies those heuristics from dataset summary
-//! statistics alone; [`Advisor::recommend_measured`] actually builds each
-//! candidate partitioning, measures the class-appropriate metric, and picks
-//! the winner — trading a preprocessing pass for a data-backed choice.
+//! statistics alone; [`Advisor::recommend_measured`] measures the
+//! class-appropriate metric for each candidate and picks the winner —
+//! trading a preprocessing pass for a data-backed choice. That pass is
+//! assignment-first: one fused parallel edge scan scores every candidate
+//! ([`cutfit_partition::sweep_metrics`]); no candidate's full
+//! `PartitionedGraph` is ever built.
 
 use cutfit_algorithms::{Algorithm, AlgorithmClass};
 use cutfit_cluster::ClusterConfig;
 use cutfit_engine::ExecutorMode;
 use cutfit_graph::types::PartId;
 use cutfit_graph::Graph;
-use cutfit_partition::{GraphXStrategy, MetricKind, PartitionMetrics, Partitioner};
+use cutfit_partition::{GraphXStrategy, MetricKind};
 
 /// Partitioning-granularity advice (the paper's configs i vs ii).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +58,13 @@ pub struct MeasuredChoice {
     pub metric: MetricKind,
     /// `(strategy, metric value)` for every candidate, ascending by value.
     pub ranking: Vec<(GraphXStrategy, f64)>,
+}
+
+/// Total ascending order for ranking metric/time values: NaN (either sign —
+/// `total_cmp` alone would put -NaN *first*) sorts after every number, so a
+/// broken measurement can never panic the sort or be crowned the winner.
+fn rank_order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.is_nan().cmp(&b.is_nan()).then(a.total_cmp(&b))
 }
 
 /// The tailoring advisor.
@@ -143,15 +153,41 @@ impl Advisor {
         }
     }
 
-    /// Builds every candidate partitioning, measures the class-appropriate
-    /// metric, and returns the full ranking. `candidates` defaults to the
-    /// paper's six when empty.
+    /// Measures the class-appropriate metric for every candidate and
+    /// returns the full ranking. `candidates` defaults to the paper's six
+    /// when empty.
+    ///
+    /// This is **assignment-first**: all candidates are scored by one fused
+    /// parallel edge scan ([`cutfit_partition::sweep_metrics`]) feeding the
+    /// streaming metrics pass — no
+    /// [`PartitionedGraph`](cutfit_partition::PartitionedGraph) is ever
+    /// built, so
+    /// the "measured" mode costs a preprocessing scan rather than six full
+    /// partitioning builds. Ties rank in candidate (paper table) order: the
+    /// sort is stable and total (`f64::total_cmp`, NaNs explicitly ordered
+    /// after every number), so a degenerate metric value can never panic
+    /// the comparison or win the ranking.
     pub fn recommend_measured(
         &self,
         class: AlgorithmClass,
         graph: &Graph,
         num_parts: PartId,
         candidates: &[GraphXStrategy],
+    ) -> MeasuredChoice {
+        self.recommend_measured_threaded(class, graph, num_parts, candidates, 0)
+    }
+
+    /// [`Advisor::recommend_measured`] with explicit worker-pool control:
+    /// `threads == 0` auto-sizes from the host, `1` stays on the calling
+    /// thread (e.g. inside timing harnesses that must not oversubscribe).
+    /// The ranking is bit-identical at every thread count.
+    pub fn recommend_measured_threaded(
+        &self,
+        class: AlgorithmClass,
+        graph: &Graph,
+        num_parts: PartId,
+        candidates: &[GraphXStrategy],
+        threads: usize,
     ) -> MeasuredChoice {
         let metric = match class {
             AlgorithmClass::EdgeBound => MetricKind::CommCost,
@@ -163,14 +199,13 @@ impl Advisor {
         } else {
             candidates
         };
+        let measured = cutfit_partition::sweep_metrics(graph, candidates, num_parts, threads);
         let mut ranking: Vec<(GraphXStrategy, f64)> = candidates
             .iter()
-            .map(|&s| {
-                let metrics = PartitionMetrics::of(&s.partition(graph, num_parts));
-                (s, metrics.get(metric))
-            })
+            .zip(&measured)
+            .map(|(&s, metrics)| (s, metrics.get(metric)))
             .collect();
-        ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("metrics are finite"));
+        ranking.sort_by(|a, b| rank_order(a.1, b.1));
         MeasuredChoice {
             strategy: ranking[0].0,
             metric,
@@ -209,7 +244,9 @@ impl Advisor {
                 (s, time)
             })
             .collect();
-        ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("times are comparable"));
+        // An OOM probe reports f64::MAX, and a hypothetically non-finite
+        // time must rank last instead of panicking the sort or winning it.
+        ranking.sort_by(|a, b| rank_order(a.1, b.1));
         MeasuredChoice {
             strategy: ranking[0].0,
             metric: match algorithm.class() {
@@ -236,6 +273,7 @@ impl Advisor {
 mod tests {
     use super::*;
     use cutfit_datagen::{rmat, RmatConfig};
+    use cutfit_partition::{PartitionMetrics, Partitioner};
 
     fn small_graph() -> Graph {
         rmat(&RmatConfig::default(), 1)
@@ -292,6 +330,54 @@ mod tests {
         );
         assert_eq!(choice.ranking.len(), 2);
         assert!(cands.contains(&choice.strategy));
+    }
+
+    #[test]
+    fn measured_mode_survives_an_empty_graph() {
+        // Zero edges: every metric ties at its degenerate value (balance 1,
+        // CommCost/Cut 0). The sort must neither panic on a NaN nor invent
+        // an ordering — ties resolve in candidate (paper table) order.
+        let graph = Graph::new(100, Vec::new());
+        for class in [AlgorithmClass::EdgeBound, AlgorithmClass::VertexStateBound] {
+            let choice = Advisor::default().recommend_measured(class, &graph, 16, &[]);
+            assert_eq!(choice.ranking.len(), 6);
+            assert!(choice.ranking.iter().all(|(_, v)| *v == 0.0));
+            assert_eq!(choice.strategy, GraphXStrategy::RandomVertexCut);
+            let order: Vec<GraphXStrategy> = choice.ranking.iter().map(|&(s, _)| s).collect();
+            assert_eq!(order, GraphXStrategy::all().to_vec(), "stable tie-break");
+        }
+    }
+
+    #[test]
+    fn measured_mode_ties_keep_candidate_order() {
+        let graph = Graph::new(4, Vec::new());
+        let cands = [GraphXStrategy::DestinationCut, GraphXStrategy::SourceCut];
+        let choice =
+            Advisor::default().recommend_measured(AlgorithmClass::EdgeBound, &graph, 8, &cands);
+        assert_eq!(choice.strategy, GraphXStrategy::DestinationCut);
+        assert_eq!(choice.ranking[1].0, GraphXStrategy::SourceCut);
+    }
+
+    #[test]
+    fn measured_mode_matches_the_built_path() {
+        // The assignment-first sweep must reproduce exactly what building
+        // each candidate and measuring it would have said.
+        let graph = small_graph();
+        for class in [AlgorithmClass::EdgeBound, AlgorithmClass::VertexStateBound] {
+            let choice = Advisor::default().recommend_measured(class, &graph, 16, &[]);
+            for &(s, v) in &choice.ranking {
+                let built = PartitionMetrics::of(&s.partition(&graph, 16));
+                assert_eq!(v, built.get(choice.metric), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_order_puts_nan_of_either_sign_last() {
+        let mut v = [(0, f64::NAN), (1, -f64::NAN), (2, 1.0), (3, f64::INFINITY)];
+        v.sort_by(|a, b| rank_order(a.1, b.1));
+        let order: Vec<i32> = v.iter().map(|&(i, _)| i).collect();
+        assert_eq!(order, vec![2, 3, 1, 0], "finite < inf < both NaNs");
     }
 
     #[test]

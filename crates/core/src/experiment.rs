@@ -208,8 +208,13 @@ pub fn run_experiment(algorithm: &Algorithm, config: &ExperimentConfig) -> Exper
                         supersteps: out.supersteps,
                     },
                     Err(e) => {
-                        // Metrics are still well-defined for a failed run.
-                        let metrics = PartitionMetrics::of(&strategy.partition(&graph, np));
+                        // Metrics are still well-defined for a failed run —
+                        // and need only the assignment, not a rebuilt graph.
+                        let metrics = PartitionMetrics::of_assignment(
+                            &graph,
+                            &strategy.assign_edges(&graph, np),
+                            np,
+                        );
                         Observation {
                             dataset: profile.name,
                             partitioner: strategy.abbrev(),

@@ -34,7 +34,8 @@ pub mod prelude {
     };
     pub use cutfit_graph::{Edge, Graph, GraphBuilder, VertexId};
     pub use cutfit_partition::{
-        GraphXStrategy, MetricKind, PartitionMetrics, PartitionedGraph, Partitioner,
+        assign_all, sweep_metrics, GraphXStrategy, MetricKind, PartitionMetrics, PartitionedGraph,
+        Partitioner,
     };
 }
 

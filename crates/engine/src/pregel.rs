@@ -25,13 +25,11 @@
 //! parallel executors are bit-identical to sequential execution in both
 //! vertex states and the metered [`SimReport`].
 
-use std::cell::Cell;
-use std::ops::Range;
-
 use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport, SuperstepLedger};
 use cutfit_graph::types::PartId;
 use cutfit_graph::VertexId;
 use cutfit_partition::{PartitionedGraph, NO_PART};
+use cutfit_util::exec::{run_chunked, run_ranges, DisjointSlice};
 use cutfit_util::hash::hash64;
 
 use crate::program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram};
@@ -60,9 +58,7 @@ impl ExecutorMode {
         match self {
             ExecutorMode::Sequential => 1,
             ExecutorMode::Parallel { threads } => (*threads).max(1),
-            ExecutorMode::Auto => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            ExecutorMode::Auto => cutfit_util::exec::auto_threads(),
         }
     }
 }
@@ -241,29 +237,6 @@ impl<'a> ScanIndex<'a> {
     }
 }
 
-/// A slice shared by the worker threads of one phase, written at provably
-/// disjoint indices: every index is owned by exactly one home partition and
-/// every home partition is processed by exactly one thread.
-struct DisjointSlice<'a, T>(&'a [Cell<T>]);
-
-// SAFETY: each index is accessed by at most one thread per phase (see the
-// struct docs); `T: Send` makes moving values across those threads sound.
-unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
-
-impl<'a, T> DisjointSlice<'a, T> {
-    fn new(slice: &'a mut [T]) -> Self {
-        Self(Cell::from_mut(slice).as_slice_of_cells())
-    }
-
-    /// # Safety
-    /// No two threads may access the same index during one phase.
-    #[allow(clippy::mut_from_ref)]
-    #[inline]
-    unsafe fn get_mut(&self, i: usize) -> &mut T {
-        &mut *self.0[i].as_ptr()
-    }
-}
-
 /// Per-thread metering accumulator. Every field is an exact integer
 /// counter, so merging thread deltas in any order reproduces the sequential
 /// ledger bit for bit.
@@ -354,32 +327,17 @@ impl MeterDelta {
     }
 }
 
-/// Runs `work` over `0..num_parts` split into contiguous ranges, one per
-/// worker thread (inline on the calling thread when the pool has one
-/// worker). Each range pairs with its own [`MeterDelta`].
+/// Resets every [`MeterDelta`] and runs `work` over `0..num_parts` on the
+/// shared worker-pool abstraction ([`run_chunked`]), one contiguous range
+/// and one delta per thread.
 fn run_on_pool<F>(num_parts: usize, threads: usize, deltas: &mut [MeterDelta], work: F)
 where
-    F: Fn(Range<usize>, &mut MeterDelta) + Sync,
+    F: Fn(std::ops::Range<usize>, &mut MeterDelta) + Sync,
 {
     for delta in deltas.iter_mut() {
         delta.reset();
     }
-    if threads <= 1 {
-        work(0..num_parts, &mut deltas[0]);
-        return;
-    }
-    let chunk = num_parts.div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (t, delta) in deltas.iter_mut().enumerate() {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(num_parts);
-            if start >= end {
-                break;
-            }
-            let work = &work;
-            scope.spawn(move || work(start..end, delta));
-        }
-    });
+    run_chunked(num_parts, threads, deltas, work);
 }
 
 /// Runs `program` over `pg` on the simulated `cluster`.
@@ -707,20 +665,23 @@ fn scan_all<P: VertexProgram>(
         }
         return;
     }
-    let chunk = index.parts.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for ((part_chunk, partial_chunk), matched_chunk) in index
-            .parts
-            .chunks(chunk)
-            .zip(partials.chunks_mut(chunk))
-            .zip(matched.chunks_mut(chunk))
-        {
-            scope.spawn(move || {
-                for ((part, partial), m) in part_chunk.iter().zip(partial_chunk).zip(matched_chunk)
-                {
-                    *m = scan_partition(program, part, states, active, out_deg, in_deg, partial);
-                }
-            });
+    let partial_cells = DisjointSlice::new(partials);
+    let matched_cells = DisjointSlice::new(matched);
+    run_ranges(index.parts.len(), threads, |parts| {
+        for p in parts {
+            // SAFETY: partition ranges are disjoint across threads, so each
+            // partition's partial buffer and matched slot has one writer.
+            let partial = unsafe { partial_cells.get_mut(p) };
+            let m = scan_partition(
+                program,
+                &index.parts[p],
+                states,
+                active,
+                out_deg,
+                in_deg,
+                partial,
+            );
+            unsafe { *matched_cells.get_mut(p) = m };
         }
     });
 }

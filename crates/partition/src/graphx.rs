@@ -10,8 +10,9 @@
 use cutfit_graph::types::PartId;
 use cutfit_graph::{Graph, VertexId};
 use cutfit_util::hash::{graphx_mix, hash_pair};
+use cutfit_util::num::ceil_sqrt;
 
-use crate::strategy::Partitioner;
+use crate::strategy::{assign_pure, Partitioner};
 
 /// The paper's six edge-partitioning strategies.
 ///
@@ -89,8 +90,10 @@ impl GraphXStrategy {
             Self::EdgePartition2D => {
                 // GraphX: arrange partitions in a ceil(sqrt(N)) grid; if N is
                 // not a perfect square the trailing cells wrap with `% N`,
-                // "potentially creating imbalanced partitioning" (§3).
-                let side = (n as f64).sqrt().ceil() as u64;
+                // "potentially creating imbalanced partitioning" (§3). The
+                // grid side is an exact integer ceil-sqrt — an f64 round-trip
+                // can inflate it for large N.
+                let side = ceil_sqrt(n);
                 let col = graphx_mix(src) % side;
                 let row = graphx_mix(dst) % side;
                 (col * side + row) % n
@@ -118,11 +121,20 @@ impl Partitioner for GraphXStrategy {
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
-        graph
-            .edges()
-            .iter()
-            .map(|e| self.partition_edge(e.src, e.dst, num_parts))
-            .collect()
+        self.assign_edges_threaded(graph, num_parts, 1)
+    }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
+        // Each edge's partition is a pure function of its endpoints, so the
+        // chunked parallel fill is trivially bit-identical to sequential.
+        assign_pure(graph, threads, |e| {
+            self.partition_edge(e.src, e.dst, num_parts)
+        })
     }
 }
 

@@ -11,6 +11,13 @@
 //! The quality of a partitioning is summarised by the five metrics of §3.1
 //! ([`PartitionMetrics`]): Balance, Non-Cut vertices, Cut vertices,
 //! Communication Cost, and the standard deviation of edge-partition sizes.
+//!
+//! The pipeline is **assignment-first**: a raw per-edge assignment is the
+//! cheap currency — metrics come straight from it in one streaming pass
+//! ([`PartitionMetrics::of_assignment`]), and whole candidate sets are
+//! scored by one fused edge scan ([`sweep::sweep_metrics`]). The full
+//! [`PartitionedGraph`] (local id maps, routing tables, masters) is built
+//! only when a computation will actually *run* on the partitioning.
 
 pub mod graphx;
 pub mod metrics;
@@ -18,6 +25,7 @@ pub mod multilevel;
 pub mod partitioned;
 pub mod strategy;
 pub mod streaming;
+pub mod sweep;
 
 pub use graphx::GraphXStrategy;
 pub use metrics::{MetricKind, PartitionMetrics};
@@ -25,3 +33,4 @@ pub use multilevel::MultilevelEdgeCut;
 pub use partitioned::{EdgePartition, PartitionedGraph, RoutingTable, NO_PART};
 pub use strategy::{all_partitioners, Partitioner};
 pub use streaming::{Dbh, GreedyVertexCut, Hdrf, HybridCut, SourceRangeCut};
+pub use sweep::{assign_all, sweep_metrics};

@@ -18,6 +18,8 @@
 //! *other* counts the rest. [`PartitionMetrics`] exposes all of them and the
 //! identity is enforced by tests.
 
+use cutfit_graph::types::PartId;
+use cutfit_graph::{Graph, VertexId};
 use cutfit_stats::Summary;
 
 use crate::partitioned::PartitionedGraph;
@@ -108,10 +110,59 @@ pub struct PartitionMetrics {
 impl PartitionMetrics {
     /// Computes every metric from a built partitioning.
     pub fn of(pg: &PartitionedGraph) -> Self {
-        let counts = pg.edge_counts();
+        Self::finish(
+            pg.num_parts(),
+            &pg.edge_counts(),
+            (0..pg.num_vertices()).map(|v| pg.routing().replication(v)),
+        )
+    }
+
+    /// Computes every metric straight from an edge assignment (as produced
+    /// by [`crate::Partitioner::assign_edges`]) in one streaming pass —
+    /// no [`PartitionedGraph`] is built.
+    ///
+    /// Per-vertex replica locations are tracked with a `u64` bitmask when
+    /// `num_parts <= 64` and small sorted sets otherwise, so the pass costs
+    /// O(edges · replication) with no per-partition sorting, dedup, or
+    /// routing-table construction. The result is identical to
+    /// [`PartitionMetrics::of`] on the built graph (both funnel through the
+    /// same finishing arithmetic; parity is pinned by tests across every
+    /// strategy).
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != graph.num_edges()` or any partition id
+    /// is out of range.
+    pub fn of_assignment(graph: &Graph, assignment: &[PartId], num_parts: PartId) -> Self {
+        assert_eq!(
+            assignment.len(),
+            graph.num_edges() as usize,
+            "one assignment per edge"
+        );
+        assert!(num_parts > 0, "need at least one partition");
+        let np = num_parts as usize;
+        let mut counts = vec![0u64; np];
+        let mut replicas = ReplicaSets::new(graph.num_vertices() as usize, num_parts);
+        for (e, &p) in graph.edges().iter().zip(assignment) {
+            assert!(p < num_parts, "partition id {p} out of range");
+            counts[p as usize] += 1;
+            replicas.insert(e.src, p);
+            replicas.insert(e.dst, p);
+        }
+        Self::finish(num_parts, &counts, replicas.replication())
+    }
+
+    /// Shared finishing arithmetic: per-partition edge counts plus the
+    /// per-vertex replication sequence determine every metric. Both
+    /// [`PartitionMetrics::of`] and [`PartitionMetrics::of_assignment`] end
+    /// here, which is what makes their outputs identical by construction.
+    fn finish<I: IntoIterator<Item = u32>>(
+        num_parts: PartId,
+        counts: &[u64],
+        replication: I,
+    ) -> Self {
         let summary = Summary::of_counts(counts.iter().copied());
         let edges: u64 = counts.iter().sum();
-        let avg = edges as f64 / pg.num_parts() as f64;
+        let avg = edges as f64 / num_parts as f64;
         // Integer extrema straight from the counts: round-tripping through
         // the `f64` summary fields silently truncates above 2^53 and needs
         // an empty-sample special case (±inf sentinels).
@@ -121,8 +172,8 @@ impl PartitionMetrics {
         let mut non_cut = 0u64;
         let mut cut = 0u64;
         let mut comm_cost = 0u64;
-        for v in 0..pg.num_vertices() {
-            match pg.routing().replication(v) {
+        for k in replication {
+            match k {
                 0 => {}
                 1 => non_cut += 1,
                 k => {
@@ -134,9 +185,12 @@ impl PartitionMetrics {
         let vertices_present = non_cut + cut;
         let total_replicas = comm_cost + non_cut;
         Self {
-            num_parts: pg.num_parts(),
+            num_parts,
             edges,
             vertices_present,
+            // A zero-edge partitioning is perfectly balanced by definition
+            // (0/0 would otherwise surface as NaN and poison downstream
+            // sorts); Summary likewise reports std_dev 0 for it.
             balance: if avg > 0.0 {
                 max_part_edges as f64 / avg
             } else {
@@ -168,6 +222,48 @@ impl PartitionMetrics {
             MetricKind::CommCost => self.comm_cost as f64,
             MetricKind::PartStDev => self.part_stdev,
             MetricKind::ReplicationFactor => self.replication_factor,
+        }
+    }
+}
+
+/// Per-vertex replica-partition sets for the streaming metrics pass: one
+/// `u64` bitmask per vertex while partitions fit in 64 bits (the common
+/// case — the paper sweeps 16..256 partitions but most vertices touch only
+/// a handful), small sorted vecs beyond that.
+enum ReplicaSets {
+    /// `num_parts <= 64`: bit `p` set means vertex has a replica in `p`.
+    Bits(Vec<u64>),
+    /// General case: sorted, deduplicated partition lists.
+    Sets(Vec<Vec<PartId>>),
+}
+
+impl ReplicaSets {
+    fn new(num_vertices: usize, num_parts: PartId) -> Self {
+        if num_parts <= 64 {
+            Self::Bits(vec![0; num_vertices])
+        } else {
+            Self::Sets(vec![Vec::new(); num_vertices])
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, v: VertexId, p: PartId) {
+        match self {
+            Self::Bits(masks) => masks[v as usize] |= 1u64 << p,
+            Self::Sets(sets) => {
+                let set = &mut sets[v as usize];
+                if let Err(pos) = set.binary_search(&p) {
+                    set.insert(pos, p);
+                }
+            }
+        }
+    }
+
+    /// Per-vertex replica counts, in vertex order (0 for isolated vertices).
+    fn replication(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            Self::Bits(masks) => Box::new(masks.iter().map(|m| m.count_ones())),
+            Self::Sets(sets) => Box::new(sets.iter().map(|s| s.len() as u32)),
         }
     }
 }
@@ -256,5 +352,49 @@ mod tests {
         assert_eq!(m.balance, 1.0);
         assert_eq!(m.cut, 0);
         assert_eq!(m.part_stdev, 0.0);
+    }
+
+    #[test]
+    fn of_assignment_equals_of_for_every_strategy() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 5);
+        for strat in GraphXStrategy::all() {
+            for n in [1u32, 4, 64, 100] {
+                let assignment = strat.assign_edges(&g, n);
+                let streamed = PartitionMetrics::of_assignment(&g, &assignment, n);
+                let built = PartitionMetrics::of(&strat.partition(&g, n));
+                assert_eq!(streamed, built, "{strat} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitioning_is_balanced_not_nan() {
+        // Zero edges: balance is 1.0 by definition and PartStDev 0.0, so
+        // downstream rankings never see a NaN (0/0) from degenerate inputs.
+        let g = Graph::new(7, Vec::new());
+        for m in [
+            PartitionMetrics::of_assignment(&g, &[], 4),
+            PartitionMetrics::of(&GraphXStrategy::SourceCut.partition(&g, 4)),
+        ] {
+            assert_eq!(m.balance, 1.0);
+            assert_eq!(m.part_stdev, 0.0);
+            assert_eq!(m.replication_factor, 0.0);
+            assert_eq!(m.vertices_present, 0);
+            assert!(MetricKind::all().iter().all(|&k| m.get(k).is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per edge")]
+    fn of_assignment_rejects_mismatched_length() {
+        let g = star(4);
+        PartitionMetrics::of_assignment(&g, &[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn of_assignment_rejects_bad_part_id() {
+        let g = Graph::new(2, vec![Edge::new(0, 1)]);
+        PartitionMetrics::of_assignment(&g, &[9], 2);
     }
 }

@@ -1,9 +1,28 @@
 //! The [`Partitioner`] abstraction.
 
 use cutfit_graph::types::PartId;
-use cutfit_graph::Graph;
+use cutfit_graph::{Edge, Graph};
+use cutfit_util::exec::fill_chunks;
 
 use crate::partitioned::PartitionedGraph;
+
+/// Chunked parallel assignment for strategies whose per-edge decision is a
+/// pure function of the edge (given precomputed tables such as degrees):
+/// bit-identical to the sequential map for any thread count.
+pub(crate) fn assign_pure<F>(graph: &Graph, threads: usize, per_edge: F) -> Vec<PartId>
+where
+    F: Fn(&Edge) -> PartId + Sync,
+{
+    let edges = graph.edges();
+    let threads = crate::sweep::resolve_threads(threads);
+    let mut out = vec![0 as PartId; edges.len()];
+    fill_chunks(&mut out, threads, |offset, chunk| {
+        for (slot, e) in chunk.iter_mut().zip(&edges[offset..]) {
+            *slot = per_edge(e);
+        }
+    });
+    out
+}
 
 /// Assigns every edge of a graph to one of `num_parts` partitions.
 ///
@@ -27,6 +46,24 @@ pub trait Partitioner {
     /// Every returned value must be `< num_parts`.
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId>;
 
+    /// Like [`Partitioner::assign_edges`], but may fan the scan out over up
+    /// to `threads` workers on chunked edge ranges (`0` means auto-size from
+    /// the host).
+    ///
+    /// The result must be **bit-identical** to the sequential path for every
+    /// thread count — pure per-edge strategies (the hash family, plus the
+    /// degree-table lookups of DBH/Hybrid) override this; order-dependent
+    /// streaming strategies keep the sequential default.
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
+        let _ = threads;
+        self.assign_edges(graph, num_parts)
+    }
+
     /// Convenience: assign edges and build the full vertex-cut
     /// representation with routing tables.
     fn partition(&self, graph: &Graph, num_parts: PartId) -> PartitionedGraph {
@@ -43,6 +80,15 @@ impl<P: Partitioner + ?Sized> Partitioner for &P {
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
         (**self).assign_edges(graph, num_parts)
     }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
+        (**self).assign_edges_threaded(graph, num_parts, threads)
+    }
 }
 
 impl Partitioner for Box<dyn Partitioner> {
@@ -52,6 +98,15 @@ impl Partitioner for Box<dyn Partitioner> {
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
         (**self).assign_edges(graph, num_parts)
+    }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
+        (**self).assign_edges_threaded(graph, num_parts, threads)
     }
 }
 

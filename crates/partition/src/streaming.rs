@@ -10,7 +10,7 @@ use cutfit_graph::types::PartId;
 use cutfit_graph::{Graph, VertexId};
 use cutfit_util::hash::hash64;
 
-use crate::strategy::Partitioner;
+use crate::strategy::{assign_pure, Partitioner};
 
 /// Degree-Based Hashing (Xie et al., NIPS'14): hash each edge by its
 /// lower-degree endpoint, so high-degree vertices (whose replication is
@@ -24,21 +24,26 @@ impl Partitioner for Dbh {
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
+        self.assign_edges_threaded(graph, num_parts, 1)
+    }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
         let out = graph.out_degrees();
         let inn = graph.in_degrees();
         let degree = |v: VertexId| out[v as usize] as u64 + inn[v as usize] as u64;
-        graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let key = if degree(e.src) <= degree(e.dst) {
-                    e.src
-                } else {
-                    e.dst
-                };
-                (hash64(key) % num_parts as u64) as PartId
-            })
-            .collect()
+        assign_pure(graph, threads, |e| {
+            let key = if degree(e.src) <= degree(e.dst) {
+                e.src
+            } else {
+                e.dst
+            };
+            (hash64(key) % num_parts as u64) as PartId
+        })
     }
 }
 
@@ -222,19 +227,24 @@ impl Partitioner for HybridCut {
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
+        self.assign_edges_threaded(graph, num_parts, 1)
+    }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
         let in_deg = graph.in_degrees();
-        graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let key = if in_deg[e.dst as usize] > self.threshold {
-                    e.src // high-degree destination: spread by source
-                } else {
-                    e.dst // low-degree destination: collocate its in-edges
-                };
-                (hash64(key) % num_parts as u64) as PartId
-            })
-            .collect()
+        assign_pure(graph, threads, |e| {
+            let key = if in_deg[e.dst as usize] > self.threshold {
+                e.src // high-degree destination: spread by source
+            } else {
+                e.dst // low-degree destination: collocate its in-edges
+            };
+            (hash64(key) % num_parts as u64) as PartId
+        })
     }
 }
 
@@ -254,12 +264,19 @@ impl Partitioner for SourceRangeCut {
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
+        self.assign_edges_threaded(graph, num_parts, 1)
+    }
+
+    fn assign_edges_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> Vec<PartId> {
         let block = graph.num_vertices().div_ceil(num_parts as u64).max(1);
-        graph
-            .edges()
-            .iter()
-            .map(|e| ((e.src / block) as PartId).min(num_parts - 1))
-            .collect()
+        assign_pure(graph, threads, |e| {
+            ((e.src / block) as PartId).min(num_parts - 1)
+        })
     }
 }
 

@@ -1,0 +1,186 @@
+//! The fused multi-strategy sweep: evaluate many candidate partitionings in
+//! one pass over the edge list, without ever building a
+//! [`PartitionedGraph`](crate::PartitionedGraph).
+//!
+//! The paper's selection story only works if choosing a partitioner is a
+//! *cheap* preprocessing step. Ranking the six hash strategies by a §3.1
+//! metric needs nothing but each strategy's per-edge assignment — yet the
+//! naive path assigns, buckets, sorts, deduplicates, and routes six full
+//! partitioned graphs just to read one scalar each. This module keeps the
+//! sweep assignment-first:
+//!
+//! * [`assign_all`] scans the edge list **once**, asking every candidate
+//!   strategy for its verdict on each edge while the edge is hot in cache,
+//!   parallelised over chunked edge ranges;
+//! * [`sweep_metrics`] feeds those assignments through the streaming
+//!   [`PartitionMetrics::of_assignment`] pass, yielding the exact metrics
+//!   [`PartitionMetrics::of`] would compute on the built graph.
+//!
+//! Only pure hash strategies ([`GraphXStrategy`]) can be fused this way —
+//! streaming partitioners (Greedy, HDRF) are order-dependent and must see
+//! edges one at a time; score those with
+//! [`Partitioner::assign_edges`](crate::Partitioner::assign_edges) followed
+//! by [`PartitionMetrics::of_assignment`] instead.
+
+use cutfit_graph::types::PartId;
+use cutfit_graph::Graph;
+use cutfit_util::exec::{auto_threads, run_ranges, DisjointSlice};
+
+use crate::graphx::GraphXStrategy;
+use crate::metrics::PartitionMetrics;
+
+/// Resolves a caller-facing thread count: `0` means auto-size from the
+/// host, anything else is taken literally (≥ 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => auto_threads(),
+        t => t,
+    }
+}
+
+/// Assigns every edge under every candidate strategy in a single scan over
+/// the edge list, parallelised over chunked edge ranges (`threads == 0`
+/// auto-sizes the pool; `1` runs inline).
+///
+/// Returns one assignment vector per strategy, in `strategies` order, each
+/// bit-identical to `strategies[i].assign_edges(graph, num_parts)`.
+pub fn assign_all(
+    graph: &Graph,
+    strategies: &[GraphXStrategy],
+    num_parts: PartId,
+    threads: usize,
+) -> Vec<Vec<PartId>> {
+    let edges = graph.edges();
+    let threads = resolve_threads(threads);
+    let mut outs: Vec<Vec<PartId>> = strategies
+        .iter()
+        .map(|_| vec![0 as PartId; edges.len()])
+        .collect();
+    {
+        let cells: Vec<DisjointSlice<'_, PartId>> =
+            outs.iter_mut().map(|o| DisjointSlice::new(o)).collect();
+        run_ranges(edges.len(), threads, |range| {
+            for i in range {
+                let e = &edges[i];
+                for (k, strategy) in strategies.iter().enumerate() {
+                    // SAFETY: edge ranges are disjoint across threads, so
+                    // index i of every strategy's output has one writer.
+                    unsafe {
+                        *cells[k].get_mut(i) = strategy.partition_edge(e.src, e.dst, num_parts);
+                    }
+                }
+            }
+        });
+    }
+    outs
+}
+
+/// Build-free metrics for every candidate strategy: one fused
+/// [`assign_all`] edge scan, then a streaming
+/// [`PartitionMetrics::of_assignment`] pass per strategy (fanned out over
+/// the pool when `threads` allows).
+///
+/// Equivalent to `PartitionMetrics::of(&s.partition(graph, num_parts))` for
+/// each `s`, at a fraction of the cost: no per-partition edge bucketing,
+/// vertex-table sorting, or routing-table construction happens anywhere.
+pub fn sweep_metrics(
+    graph: &Graph,
+    strategies: &[GraphXStrategy],
+    num_parts: PartId,
+    threads: usize,
+) -> Vec<PartitionMetrics> {
+    let threads = resolve_threads(threads);
+    let assignments = assign_all(graph, strategies, num_parts, threads);
+    let mut out: Vec<Option<PartitionMetrics>> = vec![None; strategies.len()];
+    {
+        let cells = DisjointSlice::new(&mut out);
+        run_ranges(strategies.len(), threads, |range| {
+            for k in range {
+                // SAFETY: strategy ranges are disjoint across threads.
+                unsafe {
+                    *cells.get_mut(k) = Some(PartitionMetrics::of_assignment(
+                        graph,
+                        &assignments[k],
+                        num_parts,
+                    ));
+                }
+            }
+        });
+    }
+    out.into_iter()
+        .map(|m| m.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Partitioner;
+    use cutfit_graph::Edge;
+
+    fn graph() -> Graph {
+        cutfit_datagen::rmat(
+            &cutfit_datagen::RmatConfig {
+                scale: 9,
+                edges: 4096,
+                ..Default::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn assign_all_matches_per_strategy_assignment() {
+        let g = graph();
+        let strategies = GraphXStrategy::all();
+        for threads in [1usize, 2, 4, 0] {
+            let fused = assign_all(&g, &strategies, 16, threads);
+            for (k, s) in strategies.iter().enumerate() {
+                assert_eq!(fused[k], s.assign_edges(&g, 16), "{s} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_metrics_matches_built_metrics() {
+        let g = graph();
+        let strategies = GraphXStrategy::all();
+        let swept = sweep_metrics(&g, &strategies, 32, 2);
+        for (k, s) in strategies.iter().enumerate() {
+            let built = PartitionMetrics::of(&s.partition(&g, 32));
+            assert_eq!(swept[k], built, "{s}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_graph_and_candidate_subsets() {
+        let g = Graph::new(10, Vec::new());
+        let subset = [GraphXStrategy::SourceCut, GraphXStrategy::EdgePartition2D];
+        let swept = sweep_metrics(&g, &subset, 8, 1);
+        assert_eq!(swept.len(), 2);
+        for m in &swept {
+            assert_eq!(m.edges, 0);
+            assert_eq!(m.balance, 1.0, "empty partitioning is balanced");
+            assert_eq!(m.part_stdev, 0.0);
+        }
+        assert!(assign_all(&g, &[], 8, 2).is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn single_edge_graph_sweeps_cleanly() {
+        let g = Graph::new(3, vec![Edge::new(0, 2)]);
+        let swept = sweep_metrics(&g, &GraphXStrategy::all(), 4, 3);
+        for m in swept {
+            assert_eq!(m.edges, 1);
+            assert_eq!(m.vertices_present, 2);
+            assert_eq!(m.cut, 0);
+        }
+    }
+}

@@ -1,10 +1,12 @@
 //! Property tests for [`cutfit_partition::PartitionMetrics`]: the integer
 //! partition-size extrema must agree with the float `Summary` on inputs
 //! small enough for `f64` to be exact (below 2^53 the comparison is lossless;
-//! above it the integer path is the one that stays correct).
+//! above it the integer path is the one that stays correct), and the
+//! build-free streaming pass must agree with the built-graph path
+//! everywhere.
 
 use cutfit_graph::{Edge, Graph};
-use cutfit_partition::{GraphXStrategy, PartitionMetrics, Partitioner};
+use cutfit_partition::{GraphXStrategy, PartitionMetrics, PartitionedGraph, Partitioner};
 use cutfit_stats::Summary;
 use proptest::prelude::*;
 
@@ -42,5 +44,21 @@ proptest! {
         prop_assert_eq!(m.min_part_edges, summary.min as u64);
         prop_assert!(m.min_part_edges <= m.max_part_edges);
         prop_assert_eq!(m.edges, counts.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn of_assignment_equals_of_across_the_bitmask_boundary(
+        graph in arb_graph(),
+        strategy in arb_strategy(),
+        num_parts in 1u32..300, // spans the 64-part replica-bitmask boundary
+    ) {
+        // Same strategy, same graph: the streaming pass (bitmask replicas
+        // at <= 64 parts, sorted sets above) must reproduce the built-graph
+        // metrics exactly — including the f64 fields, which funnel through
+        // the same arithmetic.
+        let assignment = strategy.assign_edges(&graph, num_parts);
+        let streamed = PartitionMetrics::of_assignment(&graph, &assignment, num_parts);
+        let built = PartitionMetrics::of(&PartitionedGraph::build(&graph, &assignment, num_parts));
+        prop_assert_eq!(streamed, built);
     }
 }

@@ -1,0 +1,221 @@
+//! Shared worker-pool and sharding primitives.
+//!
+//! The engine's superstep loop and the partitioners' edge-assignment scans
+//! parallelise the same way: split an index space into contiguous chunks,
+//! one per worker thread, with every output index owned by exactly one
+//! chunk so the threads never contend. This module is that abstraction,
+//! extracted from the engine so both layers share one implementation:
+//!
+//! * [`run_ranges`] / [`run_chunked`] — run a closure over disjoint index
+//!   ranges, optionally pairing each range with per-thread scratch state
+//!   (the engine's metering deltas);
+//! * [`fill_chunks`] — fill an output slice by handing each worker its own
+//!   contiguous sub-slice (the partitioners' per-edge assignments);
+//! * [`DisjointSlice`] — a shared-slice cell wrapper for phases whose write
+//!   indices are provably disjoint but not contiguous (the engine's
+//!   home-partition shards, the fused multi-strategy sweep).
+//!
+//! Everything here is deterministic by construction: chunk boundaries
+//! depend only on `(len, threads)`, and each output index is written by
+//! exactly one thread, so results are bit-identical to a sequential run.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Number of workers implied by the host (≥ 1) — the resolution behind
+/// "auto" thread counts across the workspace.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `threads` contiguous chunks of equal size
+/// (the last may be short) and runs `work` on each, in parallel when
+/// `threads > 1`, inline on the calling thread otherwise.
+pub fn run_ranges<F>(len: usize, threads: usize, work: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = threads.clamp(1, len.max(1));
+    if threads <= 1 {
+        work(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let work = &work;
+            scope.spawn(move || work(start..end));
+        }
+    });
+}
+
+/// Like [`run_ranges`], but pairs the `t`-th chunk with `states[t]`, giving
+/// each worker private scratch state (e.g. a metering accumulator) that the
+/// caller merges deterministically afterwards.
+///
+/// The worker count is capped at `states.len()`, so every index is always
+/// processed (fewer states than requested threads just means bigger
+/// chunks); with one chunk (or `threads <= 1`) the whole range runs inline
+/// against `states[0]`.
+pub fn run_chunked<S, F>(len: usize, threads: usize, states: &mut [S], work: F)
+where
+    S: Send,
+    F: Fn(Range<usize>, &mut S) + Sync,
+{
+    let threads = threads.min(states.len()).clamp(1, len.max(1));
+    if threads <= 1 {
+        work(0..len, &mut states[0]);
+        return;
+    }
+    let chunk = len.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (t, state) in states.iter_mut().enumerate() {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let work = &work;
+            scope.spawn(move || work(start..end, state));
+        }
+    });
+}
+
+/// Fills `out` by splitting it into contiguous chunks, one per worker;
+/// `fill` receives each chunk's global start offset and the chunk itself.
+///
+/// Chunk boundaries depend only on `(out.len(), threads)`, and each index
+/// is written by exactly one worker, so the result is bit-identical to a
+/// sequential fill for any pure `fill`.
+pub fn fill_chunks<T, F>(out: &mut [T], threads: usize, fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = out.len();
+    let threads = threads.clamp(1, len.max(1));
+    if threads <= 1 {
+        fill(0, out);
+        return;
+    }
+    let chunk = len.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let fill = &fill;
+            scope.spawn(move || fill(t * chunk, slice));
+        }
+    });
+}
+
+/// A slice shared by the worker threads of one phase, written at provably
+/// disjoint indices: every index is owned by exactly one shard (home
+/// partition, edge range, …) and every shard is processed by exactly one
+/// thread.
+pub struct DisjointSlice<'a, T>(&'a [Cell<T>]);
+
+// SAFETY: each index is accessed by at most one thread per phase (see the
+// struct docs); `T: Send` makes moving values across those threads sound.
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint-index sharing.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self(Cell::from_mut(slice).as_slice_of_cells())
+    }
+
+    /// # Safety
+    /// No two threads may access the same index during one phase.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.0[i].as_ptr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn run_ranges_covers_every_index_once() {
+        for threads in [1usize, 2, 3, 7] {
+            for len in [0usize, 1, 5, 64, 65] {
+                let mut hits = vec![0u8; len];
+                let cells = DisjointSlice::new(&mut hits);
+                run_ranges(len, threads, |range| {
+                    for i in range {
+                        // SAFETY: ranges are disjoint across threads.
+                        unsafe { *cells.get_mut(i) += 1 };
+                    }
+                });
+                assert!(hits.iter().all(|&h| h == 1), "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunked_pairs_each_range_with_one_state() {
+        let len = 100;
+        for threads in [1usize, 2, 4] {
+            let mut sums = vec![0u64; threads];
+            run_chunked(len, threads, &mut sums, |range, sum| {
+                *sum += range.map(|i| i as u64).sum::<u64>();
+            });
+            assert_eq!(sums.iter().sum::<u64>(), (len as u64 - 1) * len as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn run_chunked_never_drops_work_when_states_run_short() {
+        // 8 requested threads but only 2 scratch states: the pool must cap
+        // itself at 2 workers and still cover every index.
+        let len = 100;
+        let mut sums = vec![0u64; 2];
+        run_chunked(len, 8, &mut sums, |range, sum| {
+            *sum += range.map(|i| i as u64).sum::<u64>();
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (len as u64 - 1) * len as u64 / 2);
+    }
+
+    #[test]
+    fn fill_chunks_matches_sequential() {
+        let expected: Vec<u64> = (0..1000).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let mut out = vec![0u64; 1000];
+            fill_chunks(&mut out, threads, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (offset + k) as u64 * 3 + 1;
+                }
+            });
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_chunks_handles_empty_and_oversubscribed() {
+        let mut empty: Vec<u32> = Vec::new();
+        fill_chunks(&mut empty, 8, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert!(chunk.is_empty(), "no work to hand out");
+        });
+        let mut tiny = vec![0u32; 2];
+        fill_chunks(&mut tiny, 16, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = (offset + k) as u32;
+            }
+        });
+        assert_eq!(tiny, vec![0, 1]);
+    }
+}

@@ -6,9 +6,19 @@
 //! shapes. To that end this crate hand-rolls a small, well-known PRNG
 //! ([`rng::Xoshiro256pp`]) and integer mixing functions ([`hash`]) rather than
 //! depending on external crates whose output may change between versions.
+//!
+//! The same determinism requirement shapes the parallelism primitives
+//! ([`exec`]): work is split into contiguous chunks whose boundaries depend
+//! only on `(len, threads)`, with every output index owned by exactly one
+//! worker, so the engine's supersteps and the partitioners' edge scans are
+//! bit-identical at any thread count. [`num`] holds exact integer arithmetic
+//! (ceiling square root) for the places where an `f64` round-trip would be
+//! lossy.
 
+pub mod exec;
 pub mod fmt;
 pub mod hash;
+pub mod num;
 pub mod rng;
 pub mod table;
 

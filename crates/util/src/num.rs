@@ -1,0 +1,76 @@
+//! Exact integer arithmetic helpers.
+//!
+//! The partitioners derive grid dimensions from partition counts; doing so
+//! through `f64` round-trips (`(n as f64).sqrt().ceil()`) is a lossy path
+//! that can misround for large inputs, the same defect class the metrics
+//! code had with float extrema. These helpers stay in integers end to end.
+
+/// Smallest `s` with `s * s >= n` (the exact integer ceiling square root).
+///
+/// Pure integer arithmetic: the `f64` seed is only a starting guess and is
+/// corrected by exact comparisons, so the result is right for every `u64`,
+/// including values a `sqrt().ceil()` round-trip would misround.
+pub fn ceil_sqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    // Seed from the float sqrt, then walk to the exact floor square root.
+    let mut x = (n as f64).sqrt() as u64;
+    while x.checked_mul(x).map_or(true, |xx| xx > n) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|xx| xx <= n) {
+        x += 1;
+    }
+    if x * x == n {
+        x
+    } else {
+        x + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_small_values() {
+        for n in 0u64..10_000 {
+            let s = ceil_sqrt(n);
+            assert!(s * s >= n, "ceil_sqrt({n}) = {s} too small");
+            assert!(
+                s == 0 || (s - 1) * (s - 1) < n,
+                "ceil_sqrt({n}) = {s} too big"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_squares_are_exact() {
+        for s in [0u64, 1, 2, 255, 256, 65_535, 65_536, 1 << 31] {
+            assert_eq!(ceil_sqrt(s * s), s);
+            if s > 1 {
+                assert_eq!(ceil_sqrt(s * s - 1), s);
+                assert_eq!(ceil_sqrt(s * s + 1), s + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_inputs_do_not_overflow() {
+        // Near u64::MAX the floor sqrt is u32::MAX; (x+1)² would overflow —
+        // the checked arithmetic must handle it.
+        assert_eq!(ceil_sqrt(u64::MAX), 1 << 32);
+        assert_eq!(ceil_sqrt((u32::MAX as u64).pow(2)), u32::MAX as u64);
+        assert_eq!(ceil_sqrt((u32::MAX as u64).pow(2) + 1), 1 << 32);
+    }
+
+    #[test]
+    fn full_part_id_range_boundaries() {
+        // PartId is u32: the partitioners only ever call this below 2^32.
+        for n in [u32::MAX as u64, u32::MAX as u64 - 1, 1 << 31, (1 << 31) + 1] {
+            let s = ceil_sqrt(n);
+            assert!(s * s >= n && (s - 1) * (s - 1) < n, "n={n} s={s}");
+        }
+    }
+}

@@ -139,6 +139,56 @@ proptest! {
     }
 
     #[test]
+    fn assignment_metrics_match_built_metrics(
+        graph in arb_graph(),
+        num_parts in 1u32..200,
+    ) {
+        // Build-free streaming metrics must equal the built-graph metrics
+        // field for field, for every partitioner family — including counts
+        // above 64 (the sorted-set replica path) and below (the bitmask
+        // path).
+        for partitioner in all_partitioners() {
+            let assignment = partitioner.assign_edges(&graph, num_parts);
+            let streamed = PartitionMetrics::of_assignment(&graph, &assignment, num_parts);
+            let built = PartitionMetrics::of(
+                &PartitionedGraph::build(&graph, &assignment, num_parts),
+            );
+            prop_assert_eq!(&streamed, &built, "{}", partitioner.name());
+        }
+    }
+
+    #[test]
+    fn threaded_assignment_is_bit_identical(
+        graph in arb_graph(),
+        num_parts in 1u32..64,
+    ) {
+        // Every strategy must produce the same assignment at every thread
+        // count (streaming strategies fall back to sequential; the hash
+        // family parallelises over chunked edge ranges).
+        for partitioner in all_partitioners() {
+            let sequential = partitioner.assign_edges(&graph, num_parts);
+            for threads in [1usize, 2, 4, 0] {
+                prop_assert_eq!(
+                    &partitioner.assign_edges_threaded(&graph, num_parts, threads),
+                    &sequential,
+                    "{} at {} threads", partitioner.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_ceil_sqrt_agrees_with_f64_on_part_id_range(n in 1u64..(u32::MAX as u64 + 1)) {
+        // 2D's grid side: the exact integer path must satisfy the defining
+        // inequality everywhere, and over the valid PartId range the old
+        // f64 round-trip happens to agree — pinning that the replacement
+        // changed no assignment.
+        let s = cutfit::util::num::ceil_sqrt(n);
+        prop_assert!(s * s >= n && (s - 1) * (s - 1) < n);
+        prop_assert_eq!(s, (n as f64).sqrt().ceil() as u64);
+    }
+
+    #[test]
     fn single_partition_degenerates_cleanly(graph in arb_graph()) {
         for partitioner in all_partitioners() {
             let pg = partitioner.partition(&graph, 1);
