@@ -166,26 +166,31 @@ impl Algorithm {
         cluster: &ClusterConfig,
         executor: ExecutorMode,
     ) -> Result<RunOutcome, SimError> {
+        // The executor's worker pool also drives partition materialization
+        // (assignment + counting-sort build) — bit-identical to the
+        // sequential path at every thread count, so observations never
+        // depend on the executor mode.
+        let threads = executor.threads();
         let opts = PregelConfig {
             executor,
             ..Default::default()
         };
         match self {
             Algorithm::PageRank { iterations } => {
-                let pg = partitioner.partition(graph, num_parts);
+                let pg = partitioner.partition_threaded(graph, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r = pagerank(&pg, cluster, *iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
             Algorithm::ConnectedComponents { max_iterations } => {
-                let pg = partitioner.partition(graph, num_parts);
+                let pg = partitioner.partition_threaded(graph, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r = connected_components(&pg, cluster, *max_iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
             Algorithm::Triangles => {
                 let canon = canonicalize(graph);
-                let pg = partitioner.partition(&canon, num_parts);
+                let pg = partitioner.partition_threaded(&canon, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r = triangle_count_partitioned(&pg, cluster, true)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, 4, metrics))
@@ -195,20 +200,20 @@ impl Algorithm {
                 seed,
                 max_iterations,
             } => {
-                let pg = partitioner.partition(graph, num_parts);
+                let pg = partitioner.partition_threaded(graph, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let landmarks = Sssp::pick_landmarks(graph.num_vertices(), *num_landmarks, *seed);
                 let r = sssp(&pg, cluster, landmarks, *max_iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
             Algorithm::Hits { iterations } => {
-                let pg = partitioner.partition(graph, num_parts);
+                let pg = partitioner.partition_threaded(graph, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r = crate::hits::hits(&pg, cluster, *iterations, &opts)?;
                 Ok(RunOutcome::new(self.abbrev(), r.sim, r.supersteps, metrics))
             }
             Algorithm::LabelPropagation { iterations } => {
-                let pg = partitioner.partition(graph, num_parts);
+                let pg = partitioner.partition_threaded(graph, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r =
                     crate::label_propagation::label_propagation(&pg, cluster, *iterations, &opts)?;
@@ -217,7 +222,7 @@ impl Algorithm {
             Algorithm::KCore { iterations } => {
                 // Like TR, k-core runs on the canonical graph.
                 let canon = canonicalize(graph);
-                let pg = partitioner.partition(&canon, num_parts);
+                let pg = partitioner.partition_threaded(&canon, num_parts, threads);
                 let metrics = PartitionMetrics::of(&pg);
                 let r = cutfit_engine::run_pregel(
                     &crate::kcore::KCore,

@@ -1,0 +1,111 @@
+//! Materialization throughput: the acceptance bench for the counting-sort
+//! build rewrite.
+//!
+//! Compares, on one RMAT graph at 64 partitions with a fixed
+//! RandomVertexCut assignment:
+//!
+//! * **reference** — the retained pre-rewrite
+//!   `PartitionedGraph::build_reference`: Vec-of-Vec bucketing,
+//!   per-partition endpoint sort + dedup, per-edge `binary_search`
+//!   re-indexing;
+//! * **counting-sort** — the production `build` / `build_threaded` path:
+//!   one exact-counted flat edge scatter, stamp-based replica discovery,
+//!   a counting transpose for routing/vertex tables/masters, and a dense
+//!   remap instead of binary searches — sequential vs auto-sized pool.
+//!
+//! A second group measures edge-list ingestion: the byte-level
+//! `read_edge_list` against the pre-rewrite String-per-line reader (kept
+//! inline here as the baseline). Defaults to RMAT scale 16, the acceptance
+//! workload (counting-sort must be ≥ 2× the reference sequentially, and
+//! ingestion ≥ 2× the line reader); set `CUTFIT_BENCH_RMAT_SCALE` to
+//! shrink it (CI uses 12, non-gating).
+
+use std::io::BufRead;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_core::graph::io::{read_edge_list, write_edge_list, ParseError};
+use cutfit_core::graph::GraphBuilder;
+use cutfit_core::prelude::*;
+
+const NUM_PARTS: u32 = 64;
+
+fn rmat_scale() -> u32 {
+    std::env::var("CUTFIT_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn bench_build_throughput(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    let graph = cutfit_core::datagen::rmat(&config, 42);
+    let assignment = GraphXStrategy::RandomVertexCut.assign_edges(&graph, NUM_PARTS);
+
+    let mut group = c.benchmark_group(format!("build_throughput/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("reference"),
+        &graph,
+        |b, graph| b.iter(|| PartitionedGraph::build_reference(graph, &assignment, NUM_PARTS)),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("counting-sort-seq"),
+        &graph,
+        |b, graph| b.iter(|| PartitionedGraph::build(graph, &assignment, NUM_PARTS)),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("counting-sort-auto"),
+        &graph,
+        |b, graph| b.iter(|| PartitionedGraph::build_threaded(graph, &assignment, NUM_PARTS, 0)),
+    );
+    group.finish();
+
+    let mut text = Vec::new();
+    write_edge_list(&graph, &mut text).expect("in-memory write");
+    let mut group = c.benchmark_group(format!("ingest_throughput/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("byte-parser"),
+        &text,
+        |b, text| b.iter(|| read_edge_list(&text[..]).expect("well-formed")),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("lines-reference"),
+        &text,
+        |b, text| b.iter(|| read_edge_list_lines(&text[..]).expect("well-formed")),
+    );
+    group.finish();
+}
+
+/// The pre-rewrite reader — a `String` allocation, a `trim`, a
+/// `split_whitespace`, and two `str::parse`s per line — retained inline as
+/// the ingestion baseline.
+fn read_edge_list_lines<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut builder = GraphBuilder::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(s), Some(d)) => {
+                builder.add_edge(s, d);
+            }
+            _ => panic!("baseline reader hit malformed line {}", i + 1),
+        }
+    }
+    Ok(builder.build())
+}
+
+criterion_group!(benches, bench_build_throughput);
+criterion_main!(benches);

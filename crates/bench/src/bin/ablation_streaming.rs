@@ -51,7 +51,7 @@ fn main() {
             Align::Right,
         ]);
         for partitioner in all_partitioners() {
-            let pg = partitioner.partition(&graph, np);
+            let pg = partitioner.partition_threaded(&graph, np, args.worker_threads());
             let m = PartitionMetrics::of(&pg);
             let pr = cutfit_core::algorithms::pagerank(
                 &pg,

@@ -46,7 +46,8 @@ fn main() {
 
     for profile in args.profiles() {
         let graph = profile.generate(args.scale, args.seed);
-        let c = cutfit_core::graph::analysis::characterize(&graph, 4);
+        let c =
+            cutfit_core::graph::analysis::characterize_threaded(&graph, 4, args.worker_threads());
         t.row([
             profile.name.to_string(),
             human_count(c.vertices),

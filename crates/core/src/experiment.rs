@@ -212,7 +212,7 @@ pub fn run_experiment(algorithm: &Algorithm, config: &ExperimentConfig) -> Exper
                         // and need only the assignment, not a rebuilt graph.
                         let metrics = PartitionMetrics::of_assignment(
                             &graph,
-                            &strategy.assign_edges(&graph, np),
+                            &strategy.assign_edges_threaded(&graph, np, config.executor.threads()),
                             np,
                         );
                         Observation {

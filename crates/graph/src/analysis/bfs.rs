@@ -73,11 +73,18 @@ pub fn estimate_diameter(graph: &Graph, sweeps: u32) -> Diameter {
     if weakly_connected_components(graph).count > 1 {
         return Diameter::Infinite;
     }
-    let und = Csr::undirected_simple_of(graph);
+    estimate_diameter_csr(&Csr::undirected_simple_of(graph), sweeps)
+}
+
+/// The double-sweep estimate on a prebuilt undirected simple adjacency,
+/// which the caller has already checked to be non-empty and weakly
+/// connected (the Table 1 characterization reuses one CSR across several
+/// analyses).
+pub fn estimate_diameter_csr(und: &Csr, sweeps: u32) -> Diameter {
     let mut frontier: VertexId = 0;
     let mut best = 0u64;
     for _ in 0..sweeps.max(1) {
-        let (far, d) = eccentricity(&und, frontier);
+        let (far, d) = eccentricity(und, frontier);
         if d <= best && far == frontier {
             break;
         }

@@ -1,10 +1,11 @@
 //! One-call dataset characterization — the full Table 1 row for a graph.
 
-use crate::analysis::bfs::{estimate_diameter, Diameter};
+use crate::analysis::bfs::{estimate_diameter_csr, Diameter};
 use crate::analysis::components::{strongly_connected_components, weakly_connected_components};
 use crate::analysis::degrees::DegreeStats;
 use crate::analysis::reciprocity::reciprocity;
-use crate::analysis::triangles::count_triangles;
+use crate::analysis::triangles::count_triangles_csr;
+use crate::csr::Csr;
 use crate::graph::Graph;
 
 /// Everything Table 1 reports about a dataset.
@@ -49,6 +50,18 @@ impl Characterization {
 /// Computes the full characterization. `diameter_sweeps` controls the
 /// double-sweep BFS budget (4 is plenty in practice).
 pub fn characterize(graph: &Graph, diameter_sweeps: u32) -> Characterization {
+    characterize_threaded(graph, diameter_sweeps, 1)
+}
+
+/// [`characterize`] with the undirected simple CSR — the dominant build,
+/// shared by the triangle count and the diameter estimate instead of being
+/// constructed twice — built on up to `threads` workers (`0` = auto).
+/// Bit-identical to the sequential characterization at any thread count.
+pub fn characterize_threaded(
+    graph: &Graph,
+    diameter_sweeps: u32,
+    threads: usize,
+) -> Characterization {
     let degrees = DegreeStats::of(graph);
     let symmetry = reciprocity(graph);
     let weak = weakly_connected_components(graph).count;
@@ -57,17 +70,25 @@ pub fn characterize(graph: &Graph, diameter_sweeps: u32) -> Characterization {
     } else {
         Some(strongly_connected_components(graph).count)
     };
+    let und = Csr::undirected_simple_of_threaded(graph, threads);
+    let diameter = if graph.num_vertices() == 0 {
+        Diameter::Finite(0)
+    } else if weak > 1 {
+        Diameter::Infinite
+    } else {
+        estimate_diameter_csr(&und, diameter_sweeps)
+    };
     Characterization {
         vertices: graph.num_vertices(),
         edges: graph.num_edges(),
         symmetry,
         zero_in: degrees.zero_in_fraction,
         zero_out: degrees.zero_out_fraction,
-        triangles: count_triangles(graph),
+        triangles: count_triangles_csr(&und),
         components: weak,
         weak_components: weak,
         strong_components: strong,
-        diameter: estimate_diameter(graph, diameter_sweeps),
+        diameter,
         size_bytes: graph.text_size_bytes(),
     }
 }
@@ -101,6 +122,24 @@ mod tests {
         assert_eq!(c.weak_components, 1);
         assert_eq!(c.components, 1);
         assert_eq!(c.strong_components, Some(3));
+    }
+
+    #[test]
+    fn threaded_characterization_is_identical() {
+        let g = Graph::new(
+            30,
+            (0..29)
+                .map(|v| Edge::new(v, (v * 7 + 1) % 30))
+                .collect::<Vec<_>>(),
+        );
+        let seq = characterize(&g, 4);
+        for threads in [2usize, 4, 0] {
+            let par = characterize_threaded(&g, 4, threads);
+            assert_eq!(par.triangles, seq.triangles, "threads={threads}");
+            assert_eq!(par.diameter, seq.diameter, "threads={threads}");
+            assert_eq!(par.components, seq.components, "threads={threads}");
+            assert_eq!(par.symmetry, seq.symmetry, "threads={threads}");
+        }
     }
 
     #[test]

@@ -13,7 +13,13 @@ use crate::types::VertexId;
 
 /// Counts the triangles of the undirected simple version of `graph`.
 pub fn count_triangles(graph: &Graph) -> u64 {
-    let und = Csr::undirected_simple_of(graph);
+    count_triangles_csr(&Csr::undirected_simple_of(graph))
+}
+
+/// [`count_triangles`] on a prebuilt undirected simple adjacency, for
+/// callers (the Table 1 characterization) that reuse one CSR across
+/// several analyses.
+pub fn count_triangles_csr(und: &Csr) -> u64 {
     let n = und.num_vertices();
 
     // Orientation rank: (degree, id) lexicographic.

@@ -48,29 +48,229 @@ impl From<std::io::Error> for ParseError {
 
 /// Reads a SNAP-style edge list: `src dst` per line, blank lines and lines
 /// starting with `#` ignored.
-pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+///
+/// The hot loop is allocation-free and zero-copy: lines are parsed
+/// byte-by-byte straight out of the reader's internal buffer — no per-line
+/// `String`, no UTF-8 validation, no `split_whitespace` tokenizing, and no
+/// copy at all for lines that fit a buffered chunk (one small carry buffer
+/// is reused for lines straddling chunk boundaries). A data line must
+/// contain *exactly* two integers; trailing garbage (`1 2 3`, `1 2 # note`)
+/// is rejected as [`ParseError::Malformed`] with the offending line number,
+/// not silently ignored.
+pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
     let mut builder = GraphBuilder::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+    let mut carry: Vec<u8> = Vec::with_capacity(128);
+    let mut line_no = 0usize;
+    let malformed = |line_no: usize, line: &[u8]| ParseError::Malformed {
+        line: line_no + 1,
+        content: String::from_utf8_lossy(trim_ascii(line)).into_owned(),
+    };
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // End of input: whatever is carried is the final, unterminated
+            // line.
+            if !carry.is_empty() {
+                match parse_line(&carry, true) {
+                    LineStep::Edge(s, d, _) => {
+                        builder.add_edge(s, d);
+                    }
+                    LineStep::Skip(_) => {}
+                    LineStep::Bad => return Err(malformed(line_no, &carry)),
+                    LineStep::NeedMore => unreachable!("eof parses never stall"),
+                }
+            }
+            break;
+        }
+        if !carry.is_empty() {
+            // Finish the line started in the previous chunk, then rescan.
+            let consumed = match chunk.iter().position(|&b| b == b'\n') {
+                Some(q) => {
+                    carry.extend_from_slice(&chunk[..=q]);
+                    match parse_line(&carry, false) {
+                        LineStep::Edge(s, d, _) => {
+                            builder.add_edge(s, d);
+                        }
+                        LineStep::Skip(_) => {}
+                        LineStep::Bad => return Err(malformed(line_no, &carry)),
+                        LineStep::NeedMore => unreachable!("line has its newline"),
+                    }
+                    line_no += 1;
+                    carry.clear();
+                    q + 1
+                }
+                None => {
+                    carry.extend_from_slice(chunk);
+                    chunk.len()
+                }
+            };
+            reader.consume(consumed);
             continue;
         }
-        let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
-        match (parse(it.next()), parse(it.next())) {
-            (Some(s), Some(d)) => {
-                builder.add_edge(s, d);
-            }
-            _ => {
-                return Err(ParseError::Malformed {
-                    line: i + 1,
-                    content: trimmed.to_string(),
-                })
+        // Fast path: parse complete lines in place, no copying.
+        let mut pos = 0;
+        loop {
+            match parse_line(&chunk[pos..], false) {
+                LineStep::Edge(s, d, used) => {
+                    builder.add_edge(s, d);
+                    line_no += 1;
+                    pos += used;
+                }
+                LineStep::Skip(used) => {
+                    line_no += 1;
+                    pos += used;
+                }
+                LineStep::NeedMore => break,
+                LineStep::Bad => {
+                    let tail = &chunk[pos..];
+                    let end = tail.iter().position(|&b| b == b'\n').unwrap_or(tail.len());
+                    return Err(malformed(line_no, &tail[..end]));
+                }
             }
         }
+        carry.extend_from_slice(&chunk[pos..]);
+        let consumed = chunk.len();
+        reader.consume(consumed);
     }
     Ok(builder.build())
+}
+
+/// Outcome of parsing one line prefix of a byte slice.
+enum LineStep {
+    /// A `src dst` data line; `.2` is the bytes consumed including the
+    /// terminating newline.
+    Edge(u64, u64, usize),
+    /// A blank or `#` comment line of the given consumed length.
+    Skip(usize),
+    /// The slice ended before the line did (only when `eof` is false) —
+    /// the caller must supply more bytes.
+    NeedMore,
+    /// The line is complete and malformed: missing fields, non-digits,
+    /// overflow, or trailing garbage.
+    Bad,
+}
+
+/// Parses the first line of `b` in a single byte scan. With `eof` set, the
+/// end of the slice terminates the line like a newline would; otherwise a
+/// line without its newline yet is [`LineStep::NeedMore`].
+fn parse_line(b: &[u8], eof: bool) -> LineStep {
+    #[inline]
+    fn is_blank(c: u8) -> bool {
+        c == b' ' || c == b'\t' || c == b'\r'
+    }
+    let mut i = 0;
+    while i < b.len() && is_blank(b[i]) {
+        i += 1;
+    }
+    if i >= b.len() {
+        return if eof {
+            LineStep::Skip(i)
+        } else {
+            LineStep::NeedMore
+        };
+    }
+    if b[i] == b'\n' {
+        return LineStep::Skip(i + 1);
+    }
+    if b[i] == b'#' {
+        while i < b.len() {
+            if b[i] == b'\n' {
+                return LineStep::Skip(i + 1);
+            }
+            i += 1;
+        }
+        return if eof {
+            LineStep::Skip(i)
+        } else {
+            LineStep::NeedMore
+        };
+    }
+
+    let (src, after_src) = match parse_u64(b, i) {
+        Some(ok) => ok,
+        None => return LineStep::Bad,
+    };
+    i = after_src;
+    if i >= b.len() {
+        // The digit run may continue in the next chunk.
+        return if eof {
+            LineStep::Bad
+        } else {
+            LineStep::NeedMore
+        };
+    }
+    let sep = i;
+    while i < b.len() && is_blank(b[i]) {
+        i += 1;
+    }
+    if i >= b.len() {
+        return if eof {
+            LineStep::Bad
+        } else {
+            LineStep::NeedMore
+        };
+    }
+    if i == sep || b[i] == b'\n' {
+        // No separator after the first integer, or a one-field line.
+        return LineStep::Bad;
+    }
+    let (dst, after_dst) = match parse_u64(b, i) {
+        Some(ok) => ok,
+        None => return LineStep::Bad,
+    };
+    i = after_dst;
+    if i >= b.len() && !eof {
+        return LineStep::NeedMore;
+    }
+    while i < b.len() && is_blank(b[i]) {
+        i += 1;
+    }
+    if i < b.len() {
+        if b[i] == b'\n' {
+            return LineStep::Edge(src, dst, i + 1);
+        }
+        return LineStep::Bad; // trailing garbage after the second integer
+    }
+    if eof {
+        LineStep::Edge(src, dst, i)
+    } else {
+        LineStep::NeedMore
+    }
+}
+
+/// Parses a decimal `u64` run starting at `b[at]` (at least one digit,
+/// checked for overflow), returning the value and the index just past it.
+#[inline]
+fn parse_u64(b: &[u8], at: usize) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut i = at;
+    while i < b.len() && b[i].is_ascii_digit() {
+        value = value.checked_mul(10)?.checked_add((b[i] - b'0') as u64)?;
+        i += 1;
+    }
+    if i == at {
+        return None;
+    }
+    Some((value, i))
+}
+
+/// Strips leading and trailing ASCII whitespace (spaces, tabs, `\r`, `\n`).
+fn trim_ascii(mut bytes: &[u8]) -> &[u8] {
+    while let [b, rest @ ..] = bytes {
+        if b.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., b] = bytes {
+        if b.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
 }
 
 /// Writes the graph as a `src dst` edge list with a header comment.
@@ -123,6 +323,61 @@ mod tests {
     #[test]
     fn single_token_line_is_malformed() {
         assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_reports_line_number() {
+        let text = "# header\n0 1\n1 2 3\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, content }) => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "1 2 3");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        // An inline comment is trailing garbage too, as is a non-digit tail
+        // glued onto the second integer.
+        assert!(read_edge_list("1 2 # note\n".as_bytes()).is_err());
+        assert!(read_edge_list("1 2x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tabs_and_extra_spacing_are_accepted() {
+        let text = "0\t1\n  2 \t 3  \n4  5\r\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(
+            g.edges(),
+            &[Edge::new(0, 1), Edge::new(2, 3), Edge::new(4, 5)]
+        );
+    }
+
+    #[test]
+    fn missing_final_newline_is_fine() {
+        let g = read_edge_list("0 1\n2 3".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges()[1], Edge::new(2, 3));
+    }
+
+    #[test]
+    fn overflowing_integer_is_malformed() {
+        let text = "0 99999999999999999999999\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messy_input_roundtrips_through_write_edge_list() {
+        // Comments, blank lines, tabs, and CRLF all normalise away on the
+        // first read; a write/read round trip is then the identity.
+        let text = "# header\n\n0\t1\n   \n10 7\r\n# mid\n3 3\n";
+        let first = read_edge_list(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&first, &mut buf).unwrap();
+        let second = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(second.edges(), first.edges());
+        assert_eq!(second.num_vertices(), first.num_vertices());
     }
 
     #[test]

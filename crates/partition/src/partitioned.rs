@@ -7,9 +7,17 @@
 //! partitions holding a replica; and one replica per vertex is designated
 //! the **master**, where vertex-program updates are applied before being
 //! broadcast back to the mirrors (GraphX's `ReplicatedVertexView`).
+//!
+//! Materialization is a counting-sort pipeline ([`PartitionedGraph::build`],
+//! [`PartitionedGraph::build_threaded`]): no hashing, no comparison sorts,
+//! no per-edge binary searches — every table is scattered into exactly
+//! pre-counted flat storage. The pre-rewrite implementation is retained as
+//! [`PartitionedGraph::build_reference`] so tests and benches can pin the
+//! fast path field-for-field against it.
 
 use cutfit_graph::types::PartId;
 use cutfit_graph::{Graph, VertexId};
+use cutfit_util::exec::{run_ranges, DisjointSlice};
 use cutfit_util::hash::hash64;
 
 /// Sentinel for "vertex has no replica anywhere" (isolated vertices).
@@ -93,12 +101,192 @@ pub struct PartitionedGraph {
 
 impl PartitionedGraph {
     /// Builds the representation from a per-edge assignment (as produced by
-    /// [`crate::Partitioner::assign_edges`]).
+    /// [`crate::Partitioner::assign_edges`]) with a counting-sort pipeline:
+    /// edges are scattered once into a flat per-partition buffer by
+    /// prefix-sum cursors, replica sets are discovered with a stamp array
+    /// (no sorting or hashing), and the routing table, sorted local vertex
+    /// tables, and masters all fall out of one counting transpose.
     ///
     /// # Panics
     /// Panics if `assignment.len() != graph.num_edges()` or any partition id
     /// is out of range.
     pub fn build(graph: &Graph, assignment: &[PartId], num_parts: PartId) -> Self {
+        Self::build_threaded(graph, assignment, num_parts, 1)
+    }
+
+    /// Like [`PartitionedGraph::build`], but shards the per-partition work
+    /// (replica discovery, local re-indexing) across up to `threads`
+    /// workers (`0` auto-sizes from the host). The result is
+    /// **bit-identical** to the sequential build at any thread count: the
+    /// edge scatter is stable, each partition is processed by exactly one
+    /// worker, and the routing transpose is order-independent.
+    pub fn build_threaded(
+        graph: &Graph,
+        assignment: &[PartId],
+        num_parts: PartId,
+        threads: usize,
+    ) -> Self {
+        let threads = crate::sweep::resolve_threads(threads);
+        assert_eq!(
+            assignment.len(),
+            graph.num_edges() as usize,
+            "one assignment per edge"
+        );
+        assert!(num_parts > 0, "need at least one partition");
+        let np = num_parts as usize;
+        let n = graph.num_vertices() as usize;
+
+        // Pass 1: exact per-partition edge counts -> prefix-sum offsets.
+        // Also the only place assignments are validated, so the panic
+        // fires on the calling thread for every build variant.
+        let mut edge_offsets = vec![0usize; np + 1];
+        for &p in assignment {
+            assert!(p < num_parts, "partition id {p} out of range");
+            edge_offsets[p as usize + 1] += 1;
+        }
+        for i in 0..np {
+            edge_offsets[i + 1] += edge_offsets[i];
+        }
+
+        // Pass 2: scatter the global endpoint pairs into one flat buffer,
+        // grouped by partition. The scatter is stable: within a partition,
+        // edges keep their original edge-list order.
+        let mut cursor = edge_offsets[..np].to_vec();
+        let mut flat: Vec<(VertexId, VertexId)> = vec![(0, 0); assignment.len()];
+        for (e, &p) in graph.edges().iter().zip(assignment) {
+            let c = &mut cursor[p as usize];
+            flat[*c] = (e.src, e.dst);
+            *c += 1;
+        }
+
+        // Pass 3 (sharded over partitions): discover each partition's
+        // replica set in one sweep over its edge block. A per-worker stamp
+        // array dedups endpoints in O(1) each — the stamp is the partition
+        // id itself, which never collides across the partitions one worker
+        // processes (and NO_PART is out of range for valid ids).
+        let mut replica_lists: Vec<Vec<VertexId>> = vec![Vec::new(); np];
+        {
+            let cells = DisjointSlice::new(&mut replica_lists);
+            let flat = &flat;
+            let edge_offsets = &edge_offsets;
+            run_ranges(np, threads, |parts| {
+                let mut seen = vec![NO_PART; n];
+                for p in parts {
+                    let block = &flat[edge_offsets[p]..edge_offsets[p + 1]];
+                    let stamp = p as PartId;
+                    let mut verts = Vec::with_capacity((block.len() * 2).min(n));
+                    for &(s, d) in block {
+                        if seen[s as usize] != stamp {
+                            seen[s as usize] = stamp;
+                            verts.push(s);
+                        }
+                        if seen[d as usize] != stamp {
+                            seen[d as usize] = stamp;
+                            verts.push(d);
+                        }
+                    }
+                    // SAFETY: partition ranges are disjoint across workers.
+                    unsafe { *cells.get_mut(p) = verts };
+                }
+            });
+        }
+
+        // Pass 4 (O(replicas + n), no comparison sorts): counting
+        // transpose. Scattering partition ids in ascending-p order sorts
+        // each vertex's routing slice by construction; walking vertices in
+        // ascending order then sorts each partition's vertex table by
+        // construction. Masters come from the same sweep.
+        let mut offsets = vec![0u64; n + 1];
+        for verts in &replica_lists {
+            for &v in verts {
+                offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut rcursor: Vec<u64> = offsets[..n].to_vec();
+        let mut routing_parts = vec![0 as PartId; offsets[n] as usize];
+        for (p, verts) in replica_lists.iter().enumerate() {
+            for &v in verts {
+                let c = &mut rcursor[v as usize];
+                routing_parts[*c as usize] = p as PartId;
+                *c += 1;
+            }
+        }
+        let routing = RoutingTable {
+            offsets,
+            parts: routing_parts,
+        };
+
+        let mut vertex_tables: Vec<Vec<VertexId>> = replica_lists
+            .iter()
+            .map(|l| Vec::with_capacity(l.len()))
+            .collect();
+        drop(replica_lists);
+        let mut masters = vec![NO_PART; n];
+        for v in 0..n as u64 {
+            let replicas = routing.parts_of(v);
+            if !replicas.is_empty() {
+                masters[v as usize] = replicas[(hash64(v) % replicas.len() as u64) as usize];
+            }
+            for &p in replicas {
+                vertex_tables[p as usize].push(v);
+            }
+        }
+
+        // Pass 5 (sharded over partitions): dense global->local remap,
+        // built in one sweep over the sorted vertex table, then O(1)
+        // re-indexing per endpoint — replacing the per-edge binary search.
+        // Stale remap entries from a worker's previous partition are never
+        // read: every endpoint of this block was just written.
+        let mut parts: Vec<Option<EdgePartition>> = vec![None; np];
+        {
+            let part_cells = DisjointSlice::new(&mut parts);
+            let table_cells = DisjointSlice::new(&mut vertex_tables);
+            let flat = &flat;
+            let edge_offsets = &edge_offsets;
+            run_ranges(np, threads, |range| {
+                let mut local = vec![0u32; n];
+                for p in range {
+                    // SAFETY: partition ranges are disjoint across workers.
+                    let vertices = unsafe { std::mem::take(table_cells.get_mut(p)) };
+                    for (i, &v) in vertices.iter().enumerate() {
+                        local[v as usize] = i as u32;
+                    }
+                    let block = &flat[edge_offsets[p]..edge_offsets[p + 1]];
+                    let edges = block
+                        .iter()
+                        .map(|&(s, d)| (local[s as usize], local[d as usize]))
+                        .collect();
+                    // SAFETY: as above.
+                    unsafe { *part_cells.get_mut(p) = Some(EdgePartition { edges, vertices }) };
+                }
+            });
+        }
+        let parts = parts
+            .into_iter()
+            .map(|p| p.expect("every partition filled"))
+            .collect();
+
+        Self {
+            num_parts,
+            num_vertices: graph.num_vertices(),
+            parts,
+            routing,
+            masters,
+        }
+    }
+
+    /// The pre-counting-sort build, retained verbatim as the pinned
+    /// reference implementation: Vec-of-Vec bucketing, per-partition
+    /// endpoint sort + dedup, and per-edge `binary_search` re-indexing.
+    ///
+    /// Property tests pin [`PartitionedGraph::build`] and
+    /// [`PartitionedGraph::build_threaded`] equal to this field-for-field,
+    /// and the `build_throughput` bench measures the speedup against it.
+    /// Not intended for production callers.
+    pub fn build_reference(graph: &Graph, assignment: &[PartId], num_parts: PartId) -> Self {
         assert_eq!(
             assignment.len(),
             graph.num_edges() as usize,
@@ -326,6 +514,68 @@ mod tests {
     fn build_rejects_bad_part_id() {
         let g = Graph::new(2, vec![Edge::new(0, 1)]);
         PartitionedGraph::build(&g, &[5], 2);
+    }
+
+    /// Field-for-field equality, used to pin the counting-sort build
+    /// against the retained reference.
+    fn assert_same(a: &PartitionedGraph, b: &PartitionedGraph) {
+        assert_eq!(a.num_parts(), b.num_parts());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.parts(), b.parts());
+        assert_eq!(a.routing(), b.routing());
+        assert_eq!(a.masters(), b.masters());
+    }
+
+    #[test]
+    fn build_matches_reference_on_sample() {
+        let g = sample_graph();
+        for np in [1u32, 2, 3, 7] {
+            let assignment = GraphXStrategy::RandomVertexCut.assign_edges(&g, np);
+            let reference = PartitionedGraph::build_reference(&g, &assignment, np);
+            assert_same(&PartitionedGraph::build(&g, &assignment, np), &reference);
+        }
+    }
+
+    #[test]
+    fn build_threaded_is_bit_identical_to_sequential() {
+        let g = sample_graph();
+        let assignment = GraphXStrategy::EdgePartition2D.assign_edges(&g, 4);
+        let seq = PartitionedGraph::build(&g, &assignment, 4);
+        for threads in [1usize, 2, 4, 0] {
+            let par = PartitionedGraph::build_threaded(&g, &assignment, 4, threads);
+            assert_same(&par, &seq);
+        }
+    }
+
+    #[test]
+    fn build_handles_isolated_vertices_and_empty_partitions() {
+        // Vertices 3 and 4 are isolated; partition 1 is empty.
+        let g = Graph::new(5, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+        let assignment = vec![0, 2];
+        let reference = PartitionedGraph::build_reference(&g, &assignment, 4);
+        for threads in [1usize, 3] {
+            let pg = PartitionedGraph::build_threaded(&g, &assignment, 4, threads);
+            assert_same(&pg, &reference);
+            assert_eq!(pg.master_of(3), None);
+            assert_eq!(pg.parts()[1].num_edges(), 0);
+            assert_eq!(pg.parts()[1].num_vertices(), 0);
+        }
+    }
+
+    #[test]
+    fn build_empty_graph() {
+        let g = Graph::new(0, vec![]);
+        let pg = PartitionedGraph::build(&g, &[], 3);
+        assert_eq!(pg.num_edges(), 0);
+        assert_eq!(pg.routing().total_replicas(), 0);
+        assert_same(&pg, &PartitionedGraph::build_reference(&g, &[], 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_threaded_rejects_bad_part_id() {
+        let g = Graph::new(2, vec![Edge::new(0, 1)]);
+        PartitionedGraph::build_threaded(&g, &[5], 2, 2);
     }
 
     #[test]

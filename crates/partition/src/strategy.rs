@@ -70,6 +70,21 @@ pub trait Partitioner {
         let assignment = self.assign_edges(graph, num_parts);
         PartitionedGraph::build(graph, &assignment, num_parts)
     }
+
+    /// Like [`Partitioner::partition`], but fans both the edge assignment
+    /// ([`Partitioner::assign_edges_threaded`]) and the materialization
+    /// ([`PartitionedGraph::build_threaded`]) out over up to `threads`
+    /// workers (`0` means auto). Bit-identical to [`Partitioner::partition`]
+    /// at every thread count.
+    fn partition_threaded(
+        &self,
+        graph: &Graph,
+        num_parts: PartId,
+        threads: usize,
+    ) -> PartitionedGraph {
+        let assignment = self.assign_edges_threaded(graph, num_parts, threads);
+        PartitionedGraph::build_threaded(graph, &assignment, num_parts, threads)
+    }
 }
 
 impl<P: Partitioner + ?Sized> Partitioner for &P {

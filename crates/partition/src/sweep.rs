@@ -24,19 +24,15 @@
 
 use cutfit_graph::types::PartId;
 use cutfit_graph::Graph;
-use cutfit_util::exec::{auto_threads, run_ranges, DisjointSlice};
+use cutfit_util::exec::{run_ranges, DisjointSlice};
 
 use crate::graphx::GraphXStrategy;
 use crate::metrics::PartitionMetrics;
 
-/// Resolves a caller-facing thread count: `0` means auto-size from the
-/// host, anything else is taken literally (≥ 1).
-pub fn resolve_threads(threads: usize) -> usize {
-    match threads {
-        0 => auto_threads(),
-        t => t,
-    }
-}
+/// The workspace-wide "`0` means auto-size from the host" resolution,
+/// re-exported from [`cutfit_util::exec`] for the partitioning APIs that
+/// take a plain thread count.
+pub use cutfit_util::exec::resolve_threads;
 
 /// Assigns every edge under every candidate strategy in a single scan over
 /// the edge list, parallelised over chunked edge ranges (`threads == 0`

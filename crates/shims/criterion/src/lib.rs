@@ -9,8 +9,19 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros — with wall-clock timing
 //! and no statistical analysis. Swapping the `criterion` entry in the root
 //! `Cargo.toml` back to the real crate requires no source changes.
+//!
+//! When the `CUTFIT_BENCH_JSON` environment variable names a file, every
+//! benchmark result is additionally recorded there as one entry of a JSON
+//! array (`label`, `min_ns`, `mean_ns`, `samples`, and — when a throughput
+//! was declared — `elements`/`unit`/`per_sec`). The file is rewritten after
+//! each benchmark, so it is complete and valid JSON even if a later
+//! benchmark aborts; entries already present (e.g. from an earlier bench
+//! binary of the same `cargo bench` run) are preserved, with same-label
+//! entries overwritten. CI uses this to keep the perf trajectory
+//! machine-readable (`BENCH_*.json`).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -202,6 +213,98 @@ fn run_one(
         mean,
         b.samples.len()
     );
+    record_json(&label, *min, mean, b.samples.len(), throughput);
+}
+
+/// Summary entries keyed by escaped label, in insertion order. `None`
+/// until the first record, at which point any existing summary file is
+/// loaded so several bench binaries sharing one `CUTFIT_BENCH_JSON` path
+/// (e.g. `cargo bench -p cutfit-bench`) merge instead of clobbering each
+/// other; re-recording a label overwrites that label's entry.
+static JSON_ENTRIES: Mutex<Option<Vec<(String, String)>>> = Mutex::new(None);
+
+/// Records one result in the `CUTFIT_BENCH_JSON` summary file (no-op when
+/// the variable is unset). The whole array is rewritten on every call so
+/// the file stays valid JSON at all times.
+fn record_json(label: &str, min: Duration, mean: Duration, samples: usize, t: Option<Throughput>) {
+    let Ok(path) = std::env::var("CUTFIT_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let key = json_string(label);
+    let mut entry = format!(
+        "{{\"label\":{key},\"min_ns\":{},\"mean_ns\":{},\"samples\":{samples}",
+        min.as_nanos(),
+        mean.as_nanos(),
+    );
+    if let Some(t) = t {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elements"),
+            Throughput::Bytes(n) => (n, "bytes"),
+        };
+        let secs = min.as_secs_f64();
+        if secs > 0.0 {
+            entry.push_str(&format!(
+                ",\"elements\":{count},\"unit\":\"{unit}\",\"per_sec\":{:.1}",
+                count as f64 / secs
+            ));
+        }
+    }
+    entry.push('}');
+    let mut guard = JSON_ENTRIES.lock().expect("no poisoned benches");
+    let entries = guard.get_or_insert_with(|| load_entries(&path));
+    entries.retain(|(k, _)| *k != key);
+    entries.push((key, entry));
+    let body = format!(
+        "[\n  {}\n]\n",
+        entries
+            .iter()
+            .map(|(_, e)| e.as_str())
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    // Best effort: an unwritable summary must not fail the bench run.
+    let _ = std::fs::write(&path, body);
+}
+
+/// Reads back a summary file this shim wrote earlier (one entry per line),
+/// so a later bench binary extends it. Anything unparseable is dropped —
+/// the file will simply be rebuilt from this process's entries.
+fn load_entries(path: &str) -> Vec<(String, String)> {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    existing
+        .lines()
+        .filter_map(|line| {
+            let entry = line.trim().trim_end_matches(',');
+            let rest = entry.strip_prefix("{\"label\":")?;
+            let key_len = rest
+                .char_indices()
+                .skip(1)
+                .find(|&(i, c)| c == '"' && !rest[..i].ends_with('\\'))
+                .map(|(i, _)| i + 1)?;
+            Some((rest[..key_len].to_string(), entry.to_string()))
+        })
+        .collect()
+}
+
+/// Minimal JSON string escaping for benchmark labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Compact SI formatting for throughput rates (e.g. "18.4M").
@@ -263,5 +366,37 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("threads", 4).name, "threads/4");
         assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain/label"), "\"plain/label\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn summary_files_roundtrip_through_load_entries() {
+        let dir = std::env::temp_dir().join("cutfit-criterion-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.json");
+        let body = concat!(
+            "[\n",
+            "  {\"label\":\"g/one\",\"min_ns\":10,\"mean_ns\":12,\"samples\":3},\n",
+            "  {\"label\":\"g/two \\\"q\\\"\",\"min_ns\":7,\"mean_ns\":9,\"samples\":2}\n",
+            "]\n"
+        );
+        std::fs::write(&path, body).unwrap();
+        let entries = load_entries(path.to_str().unwrap());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "\"g/one\"");
+        assert_eq!(
+            entries[0].1,
+            "{\"label\":\"g/one\",\"min_ns\":10,\"mean_ns\":12,\"samples\":3}"
+        );
+        assert_eq!(entries[1].0, "\"g/two \\\"q\\\"\"");
+        // A missing file is an empty summary, not an error.
+        assert!(load_entries("/nonexistent/summary.json").is_empty());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -30,6 +30,16 @@ pub fn auto_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves a caller-facing thread count: `0` means auto-size from the
+/// host ([`auto_threads`]), anything else is taken literally (≥ 1). The
+/// one definition of the workspace-wide "0 = auto" convention.
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => auto_threads(),
+        t => t,
+    }
+}
+
 /// Splits `0..len` into at most `threads` contiguous chunks of equal size
 /// (the last may be short) and runs `work` on each, in parallel when
 /// `threads > 1`, inline on the calling thread otherwise.
@@ -110,6 +120,51 @@ where
         for (t, slice) in out.chunks_mut(chunk).enumerate() {
             let fill = &fill;
             scope.spawn(move || fill(t * chunk, slice));
+        }
+    });
+}
+
+/// Splits `slice` at the caller-chosen ascending `cuts` and runs `work`
+/// once per piece, one scoped worker per piece when there is more than
+/// one — for shards that are contiguous but *uneven*, where
+/// [`fill_chunks`]' equal-size split would tear a shard across two
+/// workers (CSR neighbour blocks cut at vertex offsets, partition edge
+/// blocks cut at bucket offsets).
+///
+/// `cuts` must start at `0`, end at `slice.len()`, and be non-decreasing;
+/// piece `k` is `slice[cuts[k]..cuts[k + 1]]` and `work` receives
+/// `(k, piece)`. The caller controls parallelism by the number of cuts it
+/// passes. Each index belongs to exactly one piece, so the result is
+/// bit-identical to running the pieces sequentially for any pure `work`.
+///
+/// # Panics
+/// Panics if `cuts` is not a monotone cover of `slice` as described.
+pub fn run_cut_slices<T, F>(slice: &mut [T], cuts: &[usize], work: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        cuts.first() == Some(&0) && cuts.last() == Some(&slice.len()),
+        "cuts must cover the slice"
+    );
+    let pieces = cuts.len() - 1;
+    if pieces <= 1 {
+        if pieces == 1 {
+            work(0, slice);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = slice;
+        for k in 0..pieces {
+            let len = cuts[k + 1]
+                .checked_sub(cuts[k])
+                .expect("cuts must be non-decreasing");
+            let (piece, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let work = &work;
+            scope.spawn(move || work(k, piece));
         }
     });
 }
@@ -201,6 +256,49 @@ mod tests {
             });
             assert_eq!(out, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_cut_slices_matches_sequential_for_uneven_pieces() {
+        let expected: Vec<u64> = (0..100).map(|i| i * 7 + 3).collect();
+        for cuts in [
+            vec![0usize, 100],
+            vec![0, 1, 99, 100],
+            vec![0, 30, 30, 60, 100],
+        ] {
+            let mut out = vec![0u64; 100];
+            run_cut_slices(&mut out, &cuts, |k, piece| {
+                let base = cuts[k];
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    *slot = (base + i) as u64 * 7 + 3;
+                }
+            });
+            assert_eq!(out, expected, "cuts={cuts:?}");
+        }
+    }
+
+    #[test]
+    fn run_cut_slices_handles_empty_slice() {
+        // A single cut means zero pieces: `work` must simply never run.
+        let mut empty: Vec<u32> = Vec::new();
+        run_cut_slices(&mut empty, &[0], |_, _: &mut [u32]| {
+            panic!("no pieces to hand out")
+        });
+        // An empty piece is still a piece.
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        run_cut_slices(&mut empty, &[0, 0], |k, piece| {
+            assert_eq!(k, 0);
+            assert!(piece.is_empty());
+            ran.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(ran.load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the slice")]
+    fn run_cut_slices_rejects_partial_cover() {
+        let mut out = vec![0u32; 4];
+        run_cut_slices(&mut out, &[0, 2], |_, _| {});
     }
 
     #[test]
