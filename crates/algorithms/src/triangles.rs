@@ -59,7 +59,10 @@ pub fn triangle_count_partitioned(
     let mut sim = ClusterSim::new(cluster.clone(), np);
     let overhead = cluster.cost.message_overhead_bytes;
     if charge_load {
-        sim.charge_load(pg.num_edges() * 16 + n as u64 * 8);
+        sim.charge_load(cutfit_cluster::load_bytes(
+            pg.num_vertices(),
+            pg.num_edges(),
+        ));
     }
 
     // --- Phase 1: partition-local partial neighbour sets. ---

@@ -1,0 +1,99 @@
+//! Job-dispatch-cost microbench for the serving layer: what does it cost
+//! to put one more job on a graph that is already loaded?
+//!
+//! **Dispatch cost** is everything the serving path is responsible for
+//! *besides* the job's own supersteps: cut resolution, edge assignment,
+//! `PartitionedGraph` materialization, metrics, the engine's routing
+//! index/degree tables, buffer allocation, and the setup superstep
+//! (initial apply + replica broadcast + residency billing). It is measured
+//! end to end by dispatching a job with **zero message supersteps** — the
+//! serving overhead every real job pays before its first iteration:
+//!
+//! * `dispatch/materialize-per-run` — today's one-shot path
+//!   (`Algorithm::run`): every dispatch re-assigns every edge, rebuilds
+//!   the cut, recomputes metrics, and rebuilds the routing index.
+//! * `dispatch/workspace-cache-hit` — the session path
+//!   (`Workspace::run_job_with`) after warm-up: cut, metrics, and
+//!   `PreparedRun` are memoized; dispatch goes straight to the setup
+//!   superstep (batched O(partitions + executor pairs) metering for
+//!   fixed-size-state programs).
+//! * `dispatch/workspace-advised-hit` — same, with the cut
+//!   advisor-resolved per dispatch (memoized measured-mode advice).
+//!
+//! The `pr1-job/*` rows give the end-to-end context: a full 1-iteration
+//! PageRank job under both paths (the gap narrows as the job body — real
+//! superstep work both paths share — grows).
+//!
+//! The acceptance floor for the serving-layer rewrite is **≥5×** cheaper
+//! cache-hit dispatch at RMAT scale 16 / 64 partitions (single core).
+//! Defaults to scale 16; set `CUTFIT_BENCH_RMAT_SCALE` to shrink (CI: 12).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cutfit_core::prelude::*;
+
+const NUM_PARTS: u32 = 64;
+
+fn rmat_scale() -> u32 {
+    std::env::var("CUTFIT_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn bench_workload_throughput(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    let graph = cutfit_core::datagen::rmat(&config, 42);
+    let cluster = ClusterConfig::paper_cluster();
+    let strategy = GraphXStrategy::DestinationCut;
+    let fixed = CutChoice::Fixed {
+        strategy,
+        num_parts: NUM_PARTS,
+    };
+    let advised = CutChoice::AdvisedAt {
+        num_parts: NUM_PARTS,
+    };
+
+    for (phase, iterations) in [("dispatch", 0u64), ("pr1-job", 1u64)] {
+        let algorithm = Algorithm::PageRank { iterations };
+        let mut group = c.benchmark_group(format!("workload_throughput/rmat{scale}/{phase}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1)); // jobs/sec
+
+        group.bench_function("materialize-per-run", |b| {
+            b.iter(|| {
+                algorithm
+                    .run(
+                        &graph,
+                        &strategy,
+                        NUM_PARTS,
+                        &cluster,
+                        ExecutorMode::Sequential,
+                    )
+                    .expect("fits in memory")
+            })
+        });
+
+        let mut ws = Workspace::new(graph.clone(), cluster.clone(), ExecutorMode::Sequential);
+        ws.run_job_with(&algorithm, &fixed, ExecutorMode::Sequential); // warm the cache
+        group.bench_function("workspace-cache-hit", |b| {
+            b.iter(|| ws.run_job_with(&algorithm, &fixed, ExecutorMode::Sequential))
+        });
+
+        if phase == "dispatch" {
+            let mut ws = Workspace::new(graph.clone(), cluster.clone(), ExecutorMode::Sequential);
+            ws.run_job_with(&algorithm, &advised, ExecutorMode::Sequential);
+            group.bench_function("workspace-advised-hit", |b| {
+                b.iter(|| ws.run_job_with(&algorithm, &advised, ExecutorMode::Sequential))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_workload_throughput);
+criterion_main!(benches);

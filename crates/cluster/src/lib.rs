@@ -29,4 +29,4 @@ pub mod sim;
 
 pub use config::{ClusterConfig, ComputeCostModel, Storage};
 pub use ledger::SuperstepLedger;
-pub use sim::{ClusterSim, SimError, SimReport};
+pub use sim::{load_bytes, ClusterSim, SimError, SimReport};

@@ -40,6 +40,14 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Bytes billed for loading a dataset from storage: the edge list (two
+/// 8-byte ids per edge) plus one 8-byte state record per vertex. The one
+/// formula shared by the engine's per-run load charge and the serving
+/// layer's once-per-session charge, so the two bills can never drift.
+pub fn load_bytes(num_vertices: u64, num_edges: u64) -> u64 {
+    num_edges * 16 + num_vertices * 8
+}
+
 /// Cumulative results of a simulated run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
@@ -99,6 +107,73 @@ impl ClusterSim {
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Resets the simulation to its just-constructed state while keeping
+    /// every allocation — ledger part rows, the lazily-grown executor
+    /// byte/message matrices, residency tables, retained-lineage tracking —
+    /// so a serving layer can bill many jobs through one `ClusterSim`
+    /// without per-job reconstruction. This also clears any residual state
+    /// a previous run may have left behind: half-recorded ledger rows from
+    /// a run that never reached `end_superstep` (e.g. an out-of-memory
+    /// abort), declared resident bytes, and the accumulated report.
+    pub fn reset(&mut self) {
+        self.ledger.reset();
+        self.part_resident.fill(0);
+        self.resident_bytes.fill(0);
+        self.retained_bytes.fill(0.0);
+        self.report = SimReport::default();
+    }
+
+    /// Charges a full re-materialization of the graph under a new cut, as
+    /// one synthesized shuffle superstep: every edge record (16 bytes) is
+    /// scanned twice (assignment, then the counting-sort scatter) and
+    /// re-shuffled to its new partition. The records spread uniformly over
+    /// executor pairs, so `(executors−1)/executors` of the volume pays wire
+    /// time while all of it pays serialization and spill under the cost
+    /// model, and lineage retention accrues exactly as for a computation
+    /// superstep — a session that switches cuts on every job keeps paying
+    /// for it. Returns the superstep's simulated duration; serving layers
+    /// charge this whenever a job switches the active cut and sum it into
+    /// their workload totals (the paper's tailor-vs-one-size-fits-all
+    /// comparison, end to end).
+    pub fn charge_repartition(&mut self, num_edges: u64) -> Result<f64, SimError> {
+        let execs = u64::from(self.config.executors);
+        let parts = u64::from(self.num_parts);
+        if execs == 0 || parts == 0 || num_edges == 0 {
+            // A degenerate sim (no executors/partitions) has no ledger rows
+            // to charge — the barrier is the whole cost.
+            return self.end_superstep();
+        }
+        let total_bytes = num_edges * 16;
+        let cells = execs * execs;
+        let cell_bytes = total_bytes / cells;
+        let cell_msgs = num_edges / cells;
+        for from in 0..execs {
+            for to in 0..execs {
+                let mut bytes = cell_bytes;
+                let mut msgs = cell_msgs;
+                if from == 0 && to == 0 {
+                    // Remainders land on one pair so totals stay exact.
+                    bytes += total_bytes % cells;
+                    msgs += num_edges % cells;
+                }
+                if bytes > 0 || msgs > 0 {
+                    self.ledger.send_exec(from as u32, to as u32, msgs, bytes);
+                }
+            }
+        }
+        let scans = num_edges * 2;
+        for p in 0..parts {
+            let mut n = scans / parts;
+            if p == 0 {
+                n += scans % parts;
+            }
+            if n > 0 {
+                self.ledger.edge_scans(p as u32, n);
+            }
+        }
+        self.end_superstep()
     }
 
     /// Number of partitions this simulation was created for.
@@ -500,6 +575,96 @@ mod tests {
         }
         let ratio = a.report().storage_seconds / b.report().storage_seconds;
         assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh() {
+        // Two identical runs through one reused sim must bill exactly like
+        // two fresh sims — including after lazy ledger-matrix allocation,
+        // declared residency, and accumulated lineage.
+        let charge = |sim: &mut ClusterSim| {
+            sim.charge_load(10_000_000);
+            sim.set_resident(1, 5_000_000);
+            sim.ledger().send_exec(0, 1, 100, 250_000);
+            sim.ledger().edge_scans(2, 10_000);
+            sim.end_superstep().unwrap();
+            sim.ledger().send_exec(1, 0, 7, 900);
+            sim.end_superstep().unwrap();
+            sim.report().clone()
+        };
+        let mut reused = ClusterSim::new(small_cluster(), 8);
+        let first = charge(&mut reused);
+        reused.reset();
+        assert_eq!(reused.resident_of(1), 0, "reset clears residency");
+        let second = charge(&mut reused);
+        let fresh = charge(&mut ClusterSim::new(small_cluster(), 8));
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh, "reuse after reset must not drift");
+    }
+
+    #[test]
+    fn reset_clears_residue_of_an_aborted_run() {
+        // An OOM abort leaves declared residency and retained lineage
+        // behind, plus a ledger that was charged but never closed; reset
+        // must scrub all of it so the next run starts from zero.
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 0.001;
+        cfg.cost.memory_overhead_factor = 10.0;
+        let mut sim = ClusterSim::new(cfg, 8);
+        sim.set_resident(0, 200_000);
+        sim.ledger().send_exec(0, 1, 5, 777); // half-recorded superstep
+        assert!(sim.end_superstep().is_err());
+        sim.reset();
+        assert_eq!(sim.report(), &SimReport::default());
+        let secs = sim.end_superstep().expect("no residue left to OOM on");
+        assert_eq!(sim.report().remote_bytes, 0);
+        assert_eq!(sim.report().messages, 0);
+        let overhead = sim.config().cost.superstep_overhead_ms * 1e-3;
+        assert!((secs - overhead).abs() < 1e-12, "only barrier overhead");
+    }
+
+    #[test]
+    fn repartition_bills_wire_compute_and_lineage() {
+        let mut sim = ClusterSim::new(small_cluster(), 8);
+        let secs = sim.charge_repartition(1_000_000).unwrap();
+        let r = sim.report().clone();
+        assert!(secs > 0.0);
+        assert_eq!(r.supersteps, 1);
+        assert_eq!(r.messages, 1_000_000, "every edge record is shuffled");
+        assert_eq!(
+            r.remote_bytes + r.local_shuffle_bytes,
+            16_000_000,
+            "16 bytes per edge, totals exact despite uniform spreading"
+        );
+        // 2 executors: half the volume crosses the wire.
+        assert_eq!(r.remote_bytes, 8_000_000);
+        assert!(r.network_seconds > 0.0);
+        assert!(r.compute_seconds > 0.0, "assignment + scatter scans");
+        // Lineage accrues: repeated repartitioning keeps raising demand.
+        let before = r.peak_executor_memory_gb;
+        for _ in 0..5 {
+            sim.charge_repartition(1_000_000).unwrap();
+        }
+        assert!(sim.report().peak_executor_memory_gb > before);
+    }
+
+    #[test]
+    fn repartition_scales_with_edges_and_survives_one_executor() {
+        let mut small = ClusterSim::new(small_cluster(), 8);
+        let mut large = ClusterSim::new(small_cluster(), 8);
+        let a = small.charge_repartition(100_000).unwrap();
+        let b = large.charge_repartition(10_000_000).unwrap();
+        assert!(b > a, "more edges cost more: {a} vs {b}");
+        let mut solo = ClusterSim::new(
+            ClusterConfig {
+                executors: 1,
+                ..small_cluster()
+            },
+            4,
+        );
+        let secs = solo.charge_repartition(1_000).unwrap();
+        assert_eq!(solo.report().remote_bytes, 0, "single executor: all local");
+        assert!(secs > 0.0);
     }
 
     #[test]

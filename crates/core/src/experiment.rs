@@ -11,7 +11,7 @@ use cutfit_cluster::ClusterConfig;
 use cutfit_datagen::DatasetProfile;
 use cutfit_engine::ExecutorMode;
 use cutfit_graph::types::PartId;
-use cutfit_partition::{GraphXStrategy, MetricKind, PartitionMetrics, Partitioner};
+use cutfit_partition::{GraphXStrategy, MetricKind, PartitionMetrics};
 use cutfit_stats::{pearson, spearman};
 use cutfit_util::table::{Align, AsciiTable};
 
@@ -185,48 +185,39 @@ impl ExperimentResult {
 }
 
 /// Runs the full grid for one algorithm.
+///
+/// The grid is served by one [`Workspace`](crate::session::Workspace) per
+/// dataset: the graph is generated once, its canonical orientation (TR,
+/// k-core) is computed once, and every distinct (strategy, granularity)
+/// cut is materialized exactly once and reused across the cells that share
+/// it. Cells run with one-shot billing
+/// ([`Workspace::run_job_isolated`](crate::session::Workspace::run_job_isolated)),
+/// so each observation is bit-identical to what a standalone
+/// [`Algorithm::run`] would have measured. Metrics of failed cells come
+/// from the memoized cut — the partitioning *actually executed* (for TR
+/// that is the canonical graph's cut) — with no extra assignment pass.
 pub fn run_experiment(algorithm: &Algorithm, config: &ExperimentConfig) -> ExperimentResult {
+    let cluster = if config.scale_memory {
+        config.cluster.clone().with_memory_scale(config.scale)
+    } else {
+        config.cluster.clone()
+    };
     let mut observations = Vec::new();
     for profile in &config.datasets {
         let graph = profile.generate(config.scale, config.seed);
+        let mut workspace = crate::session::Workspace::new(graph, cluster.clone(), config.executor);
         for &np in &config.num_parts {
             for &strategy in &config.partitioners {
-                let cluster = if config.scale_memory {
-                    config.cluster.clone().with_memory_scale(config.scale)
-                } else {
-                    config.cluster.clone()
-                };
-                let outcome = algorithm.run(&graph, &strategy, np, &cluster, config.executor);
-                let obs = match outcome {
-                    Ok(out) => Observation {
-                        dataset: profile.name,
-                        partitioner: strategy.abbrev(),
-                        num_parts: np,
-                        time_s: Some(out.sim.total_seconds),
-                        failure: None,
-                        metrics: out.metrics,
-                        supersteps: out.supersteps,
-                    },
-                    Err(e) => {
-                        // Metrics are still well-defined for a failed run —
-                        // and need only the assignment, not a rebuilt graph.
-                        let metrics = PartitionMetrics::of_assignment(
-                            &graph,
-                            &strategy.assign_edges_threaded(&graph, np, config.executor.threads()),
-                            np,
-                        );
-                        Observation {
-                            dataset: profile.name,
-                            partitioner: strategy.abbrev(),
-                            num_parts: np,
-                            time_s: None,
-                            failure: Some(e.to_string()),
-                            metrics,
-                            supersteps: 0,
-                        }
-                    }
-                };
-                observations.push(obs);
+                let job = workspace.run_job_isolated(algorithm, strategy, np);
+                observations.push(Observation {
+                    dataset: profile.name,
+                    partitioner: strategy.abbrev(),
+                    num_parts: np,
+                    time_s: job.time_s(),
+                    failure: job.failure(),
+                    metrics: job.metrics,
+                    supersteps: job.supersteps,
+                });
             }
         }
     }

@@ -1,0 +1,940 @@
+//! Workload sessions: a caching, advisor-driven serving layer for
+//! mixed-algorithm workloads.
+//!
+//! The paper's thesis is that *different computations want different cuts*.
+//! A one-shot `Algorithm::run` can prove that, but a deployment serving
+//! heavy traffic needs to *exploit* it: many jobs arrive against the same
+//! loaded graph, and the right unit of caching is the **(graph, cut)
+//! pair**, amortized across every job that shares it.
+//!
+//! [`Workspace`] owns one loaded [`Graph`] and memoizes, per
+//! [`CutKey`] (strategy × granularity × canonical-orientation flag):
+//!
+//! * the materialized [`Arc<PartitionedGraph>`],
+//! * its [`PartitionMetrics`] (computed once, never per job),
+//! * a [`PreparedRun`] handle — the engine's run-scoped routing index,
+//!   degree tables, metering sim, and program-independent buffers — so a
+//!   cache-hit dispatch ([`Workspace::run_job`]) skips *all* setup and goes
+//!   straight into the superstep loop.
+//!
+//! The lifetime model is deliberately eviction-free: a session pins every
+//! cut it has served until the workspace is dropped. Sessions are scoped —
+//! one per (dataset, workload burst) — so the cache's working set is the
+//! set of cuts the advisor actually recommends, typically a handful.
+//!
+//! Cross-job accounting closes the loop on the paper's
+//! tailor-vs-one-size-fits-all comparison: the workspace carries a
+//! session-level [`ClusterSim`] that bills the initial dataset load once
+//! and a [`ClusterSim::charge_repartition`] shuffle every time a job
+//! switches the active cut, so a [`WorkloadReport`] answers the end-to-end
+//! question — is tailoring the cut per job worth the re-partitioning it
+//! causes? (Per the paper's evaluation: yes, and the `workload_mixed`
+//! bench reproduces it.)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cutfit_algorithms::triangles::{canonicalize, triangle_count_partitioned};
+use cutfit_algorithms::Algorithm;
+use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport};
+use cutfit_engine::{ExecutorMode, PreparedRun};
+use cutfit_graph::types::PartId;
+use cutfit_graph::Graph;
+use cutfit_partition::{GraphXStrategy, PartitionMetrics, PartitionedGraph, Partitioner};
+use cutfit_util::table::{Align, AsciiTable};
+
+use crate::advisor::{Advisor, GranularityHint};
+
+/// Cache key of one materialized cut: which strategy, how many partitions,
+/// and whether the cut is over the canonical orientation of the graph
+/// (Triangle Count and k-core run on the canonicalized graph — a canonical
+/// and a raw cut of the same `(strategy, num_parts)` are different
+/// materializations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CutKey {
+    /// Partitioning strategy.
+    pub strategy: GraphXStrategy,
+    /// Partition count.
+    pub num_parts: PartId,
+    /// True when the cut is over the canonical orientation.
+    pub canonical: bool,
+}
+
+/// How the workspace's advisor ranks candidate strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdviceMode {
+    /// The paper's measured mode: one fused edge scan scores every
+    /// candidate on the class-appropriate metric
+    /// ([`Advisor::recommend_measured`]). Cheapest, but the paper itself
+    /// shows the metric–runtime correlation is imperfect (Figure 3 vs
+    /// Table 2: a CommCost winner can lose at runtime).
+    #[default]
+    Measured,
+    /// Short probes of the algorithm itself ([`Algorithm::probe`]) under
+    /// every candidate, ranked by **simulated time** — the session form of
+    /// [`Advisor::recommend_simulated`], which captures effects no single
+    /// metric does. Probing is what a session makes affordable: the
+    /// dispatch runs through the workspace's own cut cache (every
+    /// materialization a probe forces is one the advised jobs reuse), the
+    /// ranking is memoized per (algorithm, granularity), and the probes'
+    /// simulated cost — tracked separately in
+    /// [`Workspace::advice_seconds`] — amortizes over the session's
+    /// lifetime like the paper's preprocessing pass.
+    Probed,
+}
+
+/// How a job picks its cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutChoice {
+    /// An explicit cut — the one-size-fits-all baseline, or grid cells.
+    Fixed {
+        /// Partitioning strategy.
+        strategy: GraphXStrategy,
+        /// Partition count.
+        num_parts: PartId,
+    },
+    /// The advisor picks the strategy (measured mode: one fused edge scan
+    /// scoring every candidate on the class-appropriate metric, memoized
+    /// per class/granularity) at an explicit granularity.
+    AdvisedAt {
+        /// Partition count.
+        num_parts: PartId,
+    },
+    /// Fully advised: strategy as [`CutChoice::AdvisedAt`], granularity
+    /// from the paper's coarse/fine rule applied to the workspace's base
+    /// partition count (coarse = base, fine = 2 × base).
+    Advised,
+}
+
+/// One unit of a workload: an algorithm plus its cut policy.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// How to pick its cut.
+    pub cut: CutChoice,
+}
+
+impl Job {
+    /// A fully-advised job.
+    pub fn advised(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            cut: CutChoice::Advised,
+        }
+    }
+
+    /// An advised-strategy job at a fixed granularity.
+    pub fn advised_at(algorithm: Algorithm, num_parts: PartId) -> Self {
+        Self {
+            algorithm,
+            cut: CutChoice::AdvisedAt { num_parts },
+        }
+    }
+
+    /// A fixed-cut job.
+    pub fn fixed(algorithm: Algorithm, strategy: GraphXStrategy, num_parts: PartId) -> Self {
+        Self {
+            algorithm,
+            cut: CutChoice::Fixed {
+                strategy,
+                num_parts,
+            },
+        }
+    }
+}
+
+/// Session cache counters. Hits and misses count **cut-cache lookups**
+/// (one per `ensure`d materialization), not jobs: job dispatch, advisory
+/// probes ([`AdviceMode::Probed`] touches every candidate), and the
+/// [`Workspace::materialized`]/[`Workspace::metrics_of`] accessors all
+/// contribute. Per-job cache outcomes live in [`JobOutcome::cache_hit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-materialized cut.
+    pub cache_hits: u64,
+    /// Lookups that materialized a cut on demand.
+    pub cache_misses: u64,
+    /// Jobs that changed the active cut (each one billed a repartition).
+    pub cut_switches: u64,
+}
+
+/// What happened when one job was dispatched.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Algorithm abbreviation (PR, CC, TR, SSSP, …).
+    pub algorithm: &'static str,
+    /// The strategy actually executed.
+    pub strategy: GraphXStrategy,
+    /// The granularity actually executed.
+    pub num_parts: PartId,
+    /// Whether the cut was over the canonical orientation.
+    pub canonical: bool,
+    /// True when the cut was already materialized.
+    pub cache_hit: bool,
+    /// True when dispatching this job changed the session's active cut.
+    pub switched_cut: bool,
+    /// Session-level cost incurred to make this job runnable: the one-time
+    /// initial load (first job only) plus the repartition shuffle when the
+    /// active cut switched. Zero for a cache-hit job on the active cut.
+    pub provisioning_seconds: f64,
+    /// Metrics of the executed cut (memoized — computed once per cut).
+    pub metrics: PartitionMetrics,
+    /// Supersteps executed (0 on failure).
+    pub supersteps: u64,
+    /// The simulated bill, or the failure that aborted the job.
+    pub result: Result<SimReport, SimError>,
+}
+
+impl JobOutcome {
+    /// Simulated job execution time, if the job succeeded.
+    pub fn time_s(&self) -> Option<f64> {
+        self.result.as_ref().ok().map(|r| r.total_seconds)
+    }
+
+    /// Failure description, if the job failed.
+    pub fn failure(&self) -> Option<String> {
+        self.result.as_ref().err().map(|e| e.to_string())
+    }
+}
+
+/// The outcome of a whole workload: per-job records plus the session-level
+/// charges, so fixed-cut and tailored serving strategies compare end to
+/// end — repartitioning cost included.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    /// One record per dispatched job, in submission order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl WorkloadReport {
+    /// Sum of successful jobs' simulated execution times.
+    pub fn job_seconds(&self) -> f64 {
+        self.jobs.iter().filter_map(|j| j.time_s()).sum()
+    }
+
+    /// Sum of session-level charges (initial load + repartition shuffles).
+    pub fn provisioning_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.provisioning_seconds).sum()
+    }
+
+    /// End-to-end simulated cost of serving the workload.
+    pub fn total_seconds(&self) -> f64 {
+        self.job_seconds() + self.provisioning_seconds()
+    }
+
+    /// Number of failed jobs.
+    pub fn failures(&self) -> usize {
+        self.jobs.iter().filter(|j| j.result.is_err()).count()
+    }
+
+    /// Number of cache-hit dispatches.
+    pub fn cache_hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.cache_hit).count()
+    }
+
+    /// Number of active-cut switches (each billed a repartition).
+    pub fn cut_switches(&self) -> usize {
+        self.jobs.iter().filter(|j| j.switched_cut).count()
+    }
+
+    /// Renders the per-job table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new([
+            "job",
+            "strategy",
+            "parts",
+            "cache",
+            "job time",
+            "provisioning",
+            "status",
+        ])
+        .aligns(&[
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Left,
+        ]);
+        for j in &self.jobs {
+            t.row([
+                j.algorithm.to_string(),
+                format!(
+                    "{}{}",
+                    j.strategy.abbrev(),
+                    if j.canonical { " (canon)" } else { "" }
+                ),
+                j.num_parts.to_string(),
+                if j.cache_hit { "hit" } else { "miss" }.to_string(),
+                j.time_s()
+                    .map(cutfit_util::fmt::human_seconds)
+                    .unwrap_or_else(|| "-".to_string()),
+                cutfit_util::fmt::human_seconds(j.provisioning_seconds),
+                j.failure().unwrap_or_else(|| "ok".to_string()),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// One memoized cut: the materialized graph, its metrics, and the engine
+/// handle that makes repeat dispatch free of setup.
+struct CutEntry {
+    pg: Arc<PartitionedGraph>,
+    metrics: PartitionMetrics,
+    /// Built on the first Pregel dispatch against this cut — Triangle
+    /// Count never touches the routing index, so a TR-only cut (the
+    /// common canonical case) skips the build entirely, mirroring the
+    /// one-shot path's special case.
+    prepared: Option<PreparedRun>,
+}
+
+impl CutEntry {
+    /// Dispatches `algorithm` on this cut, materializing the engine
+    /// handle lazily for the Pregel programs that need it.
+    fn dispatch(
+        &mut self,
+        algorithm: &Algorithm,
+        cluster: &ClusterConfig,
+        prepared_executor: ExecutorMode,
+        executor: ExecutorMode,
+        charge_load: bool,
+    ) -> Result<(SimReport, u64), SimError> {
+        if matches!(algorithm, Algorithm::Triangles) {
+            let r = triangle_count_partitioned(&self.pg, cluster, charge_load)?;
+            return Ok((r.sim, 4));
+        }
+        let prepared = match &mut self.prepared {
+            Some(p) => p,
+            None => self.prepared.insert(PreparedRun::new(
+                self.pg.clone(),
+                cluster,
+                prepared_executor,
+            )),
+        };
+        algorithm.run_prepared(prepared, executor, charge_load)
+    }
+}
+
+/// A session-scoped serving layer over one loaded graph.
+///
+/// ```
+/// use cutfit_core::prelude::*;
+/// use cutfit_core::session::{Job, Workspace};
+///
+/// let graph = DatasetProfile::youtube().generate(0.002, 42);
+/// let mut ws = Workspace::new(graph, ClusterConfig::paper_cluster(), ExecutorMode::Sequential);
+/// let report = ws.run_workload(&[
+///     Job::advised_at(Algorithm::PageRank { iterations: 3 }, 16),
+///     Job::advised_at(Algorithm::ConnectedComponents { max_iterations: 5 }, 16),
+/// ]);
+/// assert_eq!(report.failures(), 0);
+/// // PR and CC share the advised edge-bound cut: the second job is a
+/// // cache hit on the active cut and provisions nothing.
+/// assert!(report.jobs[1].cache_hit);
+/// assert_eq!(report.jobs[1].provisioning_seconds, 0.0);
+/// assert!(report.total_seconds() > 0.0);
+/// ```
+pub struct Workspace {
+    graph: Arc<Graph>,
+    /// Canonical orientation, computed on first demand (TR/k-core jobs).
+    canon: Option<Arc<Graph>>,
+    cluster: ClusterConfig,
+    executor: ExecutorMode,
+    advisor: Advisor,
+    advice_mode: AdviceMode,
+    /// Simulated cost of advisory probes ([`AdviceMode::Probed`]), kept
+    /// separate from job/provisioning totals: like the paper's advisor
+    /// pass, it is preprocessing that amortizes over the session.
+    advice_seconds: f64,
+    /// Granularity base: coarse advice = this many partitions, fine = 2×.
+    base_parts: PartId,
+    cuts: HashMap<CutKey, CutEntry>,
+    /// Memoized advisor strategy choices per (algorithm, parts).
+    advice: HashMap<(&'static str, PartId), GraphXStrategy>,
+    /// Session-level sim: bills the initial load and repartition shuffles,
+    /// with lineage accruing across the whole session.
+    session: ClusterSim,
+    active: Option<CutKey>,
+    loaded: bool,
+    stats: CacheStats,
+}
+
+impl Workspace {
+    /// Creates a session over `graph` on `cluster`. `executor` sizes the
+    /// worker pool used for cut materialization, advisor sweeps, and job
+    /// execution; every mode yields bit-identical results. The granularity
+    /// base defaults to the cluster's total core count (the paper's coarse
+    /// configuration; fine = 2×).
+    pub fn new(graph: Graph, cluster: ClusterConfig, executor: ExecutorMode) -> Self {
+        let base_parts = cluster.total_cores().max(1);
+        let session = ClusterSim::new(cluster.clone(), cluster.executors);
+        Self {
+            graph: Arc::new(graph),
+            canon: None,
+            cluster,
+            executor,
+            advisor: Advisor::default(),
+            advice_mode: AdviceMode::default(),
+            advice_seconds: 0.0,
+            base_parts,
+            cuts: HashMap::new(),
+            advice: HashMap::new(),
+            session,
+            active: None,
+            loaded: false,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Replaces the advisor (e.g. [`Advisor::scaled`] for generated data).
+    pub fn with_advisor(mut self, advisor: Advisor) -> Self {
+        self.advisor = advisor;
+        self
+    }
+
+    /// Overrides the granularity base (coarse = base, fine = 2 × base).
+    pub fn with_base_parts(mut self, base_parts: PartId) -> Self {
+        self.base_parts = base_parts.max(1);
+        self
+    }
+
+    /// Selects how advised cuts rank their candidates.
+    pub fn with_advice_mode(mut self, mode: AdviceMode) -> Self {
+        self.advice_mode = mode;
+        self
+    }
+
+    /// Simulated cost of advisory probes run so far (always 0 under
+    /// [`AdviceMode::Measured`]).
+    pub fn advice_seconds(&self) -> f64 {
+        self.advice_seconds
+    }
+
+    /// The loaded graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The cluster jobs are billed against.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The session's executor mode.
+    pub fn executor(&self) -> ExecutorMode {
+        self.executor
+    }
+
+    /// Session cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cuts currently materialized (the session never evicts).
+    pub fn cached_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The session-level bill so far: initial load plus every repartition
+    /// shuffle, lineage included.
+    pub fn session_report(&self) -> &SimReport {
+        self.session.report()
+    }
+
+    /// Resolves a job's cut policy to a concrete cache key without running
+    /// anything (advisor sweeps are performed — and memoized — as needed).
+    /// Schedulers use this to group jobs by cut before submission, which
+    /// minimizes repartition charges.
+    pub fn resolve(&mut self, algorithm: &Algorithm, cut: &CutChoice) -> CutKey {
+        let canonical = algorithm.needs_canonical();
+        match *cut {
+            CutChoice::Fixed {
+                strategy,
+                num_parts,
+            } => CutKey {
+                strategy,
+                num_parts,
+                canonical,
+            },
+            CutChoice::AdvisedAt { num_parts } => CutKey {
+                strategy: self.advised_strategy(algorithm, num_parts),
+                num_parts,
+                canonical,
+            },
+            CutChoice::Advised => {
+                let num_parts =
+                    match Advisor::granularity_typed(algorithm.class(), algorithm.converges()) {
+                        GranularityHint::Coarse => self.base_parts,
+                        GranularityHint::Fine => self.base_parts.saturating_mul(2),
+                    };
+                CutKey {
+                    strategy: self.advised_strategy(algorithm, num_parts),
+                    num_parts,
+                    canonical,
+                }
+            }
+        }
+    }
+
+    /// The memoized [`Arc<PartitionedGraph>`] for a raw-orientation cut,
+    /// materializing it on first request.
+    pub fn materialized(
+        &mut self,
+        strategy: GraphXStrategy,
+        num_parts: PartId,
+    ) -> Arc<PartitionedGraph> {
+        let key = CutKey {
+            strategy,
+            num_parts,
+            canonical: false,
+        };
+        self.ensure_cut(key);
+        self.cuts[&key].pg.clone()
+    }
+
+    /// The memoized metrics of a raw-orientation cut.
+    pub fn metrics_of(&mut self, strategy: GraphXStrategy, num_parts: PartId) -> PartitionMetrics {
+        let key = CutKey {
+            strategy,
+            num_parts,
+            canonical: false,
+        };
+        self.ensure_cut(key);
+        self.cuts[&key].metrics.clone()
+    }
+
+    /// Dispatches one advisor-tailored job (serving semantics: the graph is
+    /// session-resident, so the job itself is not billed the initial load —
+    /// the session bills it once, plus a repartition on cut switches).
+    pub fn run_job(&mut self, algorithm: &Algorithm, executor: ExecutorMode) -> JobOutcome {
+        self.run_job_with(algorithm, &CutChoice::Advised, executor)
+    }
+
+    /// Dispatches one job under an explicit cut policy (serving semantics).
+    pub fn run_job_with(
+        &mut self,
+        algorithm: &Algorithm,
+        cut: &CutChoice,
+        executor: ExecutorMode,
+    ) -> JobOutcome {
+        let key = self.resolve(algorithm, cut);
+        let session_before = self.session.report().total_seconds;
+        if !self.loaded {
+            self.session.charge_load(cutfit_cluster::load_bytes(
+                self.graph.num_vertices(),
+                self.graph.num_edges(),
+            ));
+            self.loaded = true;
+        }
+        let cache_hit = self.ensure_cut(key);
+        let switched_cut = self.active != Some(key);
+        let mut provisioning_failure: Option<SimError> = None;
+        if switched_cut {
+            self.stats.cut_switches += 1;
+            match self
+                .session
+                .charge_repartition(self.cuts[&key].pg.num_edges())
+            {
+                Ok(_) => self.active = Some(key),
+                Err(e) => provisioning_failure = Some(e),
+            }
+        }
+        let provisioning_seconds = self.session.report().total_seconds - session_before;
+        let entry = self.cuts.get_mut(&key).expect("ensured above");
+        let outcome = match provisioning_failure {
+            Some(e) => Err(e),
+            None => entry.dispatch(algorithm, &self.cluster, self.executor, executor, false),
+        };
+        let (supersteps, result) = match outcome {
+            Ok((sim, supersteps)) => (supersteps, Ok(sim)),
+            Err(e) => (0, Err(e)),
+        };
+        JobOutcome {
+            algorithm: algorithm.abbrev(),
+            strategy: key.strategy,
+            num_parts: key.num_parts,
+            canonical: key.canonical,
+            cache_hit,
+            switched_cut,
+            provisioning_seconds,
+            metrics: entry.metrics.clone(),
+            supersteps,
+            result,
+        }
+    }
+
+    /// Dispatches one fixed-cut job with **one-shot billing** — the initial
+    /// load is charged to the job and no session-level accounting happens —
+    /// so the outcome is bit-identical (time, metrics, supersteps) to
+    /// [`Algorithm::run`] on a fresh graph, while still sharing the
+    /// session's memoized materializations. The experiment grid
+    /// ([`crate::experiment::run_experiment`]) runs every cell through
+    /// this.
+    pub fn run_job_isolated(
+        &mut self,
+        algorithm: &Algorithm,
+        strategy: GraphXStrategy,
+        num_parts: PartId,
+    ) -> JobOutcome {
+        let key = CutKey {
+            strategy,
+            num_parts,
+            canonical: algorithm.needs_canonical(),
+        };
+        let cache_hit = self.ensure_cut(key);
+        let entry = self.cuts.get_mut(&key).expect("ensured above");
+        let (supersteps, result) =
+            match entry.dispatch(algorithm, &self.cluster, self.executor, self.executor, true) {
+                Ok((sim, supersteps)) => (supersteps, Ok(sim)),
+                Err(e) => (0, Err(e)),
+            };
+        JobOutcome {
+            algorithm: algorithm.abbrev(),
+            strategy: key.strategy,
+            num_parts: key.num_parts,
+            canonical: key.canonical,
+            cache_hit,
+            switched_cut: false,
+            provisioning_seconds: 0.0,
+            metrics: entry.metrics.clone(),
+            supersteps,
+            result,
+        }
+    }
+
+    /// Serves a whole workload in submission order, tailoring each job's
+    /// cut per its policy. Failed jobs are recorded, not fatal — the
+    /// session keeps serving. Group jobs by [`Workspace::resolve`]d cut to
+    /// minimize repartition charges.
+    pub fn run_workload(&mut self, jobs: &[Job]) -> WorkloadReport {
+        WorkloadReport {
+            jobs: jobs
+                .iter()
+                .map(|job| self.run_job_with(&job.algorithm, &job.cut, self.executor))
+                .collect(),
+        }
+    }
+
+    /// Materializes `key` if absent; returns true on a cache hit.
+    fn ensure_cut(&mut self, key: CutKey) -> bool {
+        if self.cuts.contains_key(&key) {
+            self.stats.cache_hits += 1;
+            return true;
+        }
+        self.stats.cache_misses += 1;
+        let graph = if key.canonical {
+            self.canonical_graph()
+        } else {
+            self.graph.clone()
+        };
+        let threads = self.executor.threads();
+        let pg = Arc::new(
+            key.strategy
+                .partition_threaded(&graph, key.num_parts, threads),
+        );
+        let metrics = PartitionMetrics::of(&pg);
+        self.cuts.insert(
+            key,
+            CutEntry {
+                pg,
+                metrics,
+                prepared: None,
+            },
+        );
+        false
+    }
+
+    /// The canonical orientation, computed once per session.
+    fn canonical_graph(&mut self) -> Arc<Graph> {
+        if self.canon.is_none() {
+            self.canon = Some(Arc::new(canonicalize(&self.graph)));
+        }
+        self.canon.clone().expect("just set")
+    }
+
+    /// Advisor choice, memoized per (algorithm, granularity): one fused
+    /// edge scan ([`AdviceMode::Measured`], scoring the algorithm's class
+    /// metric) or one round of probes through the cut cache
+    /// ([`AdviceMode::Probed`]) the first time, free afterwards.
+    fn advised_strategy(&mut self, algorithm: &Algorithm, num_parts: PartId) -> GraphXStrategy {
+        if let Some(&s) = self.advice.get(&(algorithm.abbrev(), num_parts)) {
+            return s;
+        }
+        let strategy = match self.advice_mode {
+            AdviceMode::Measured => {
+                let graph = if algorithm.needs_canonical() {
+                    self.canonical_graph()
+                } else {
+                    self.graph.clone()
+                };
+                self.advisor
+                    .recommend_measured_threaded(
+                        algorithm.class(),
+                        &graph,
+                        num_parts,
+                        &[],
+                        self.executor.threads(),
+                    )
+                    .strategy
+            }
+            AdviceMode::Probed => self.probed_strategy(algorithm, num_parts),
+        };
+        self.advice
+            .insert((algorithm.abbrev(), num_parts), strategy);
+        strategy
+    }
+
+    /// Ranks every candidate by the simulated time of the algorithm's own
+    /// short probe ([`Algorithm::probe`]) dispatched through the session
+    /// cache, so every materialization a probe forces is one the advised
+    /// jobs (and later probes) reuse. Failed probes (e.g. OOM) rank last;
+    /// ties keep candidate (paper table) order.
+    fn probed_strategy(&mut self, algorithm: &Algorithm, num_parts: PartId) -> GraphXStrategy {
+        let probe = algorithm.probe();
+        let canonical = algorithm.needs_canonical();
+        let mut best: Option<(GraphXStrategy, f64)> = None;
+        for strategy in GraphXStrategy::all() {
+            let key = CutKey {
+                strategy,
+                num_parts,
+                canonical,
+            };
+            self.ensure_cut(key);
+            let entry = self.cuts.get_mut(&key).expect("ensured above");
+            let time =
+                match entry.dispatch(&probe, &self.cluster, self.executor, self.executor, false) {
+                    Ok((sim, _)) => {
+                        self.advice_seconds += sim.total_seconds;
+                        sim.total_seconds
+                    }
+                    Err(_) => f64::MAX, // OOM probes rank last
+                };
+            // Strict `<` with NaN never winning: stable candidate-order
+            // tie-break, a broken probe cannot be crowned.
+            if best.is_none_or(|(_, t)| time < t) {
+                best = Some((strategy, time));
+            }
+        }
+        best.expect("at least one candidate").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutfit_cluster::ClusterConfig;
+    use cutfit_datagen::{rmat, RmatConfig};
+
+    fn small_graph() -> Graph {
+        rmat(&RmatConfig::default(), 5)
+    }
+
+    fn ws(executor: ExecutorMode) -> Workspace {
+        Workspace::new(small_graph(), ClusterConfig::paper_cluster(), executor)
+    }
+
+    #[test]
+    fn isolated_dispatch_matches_one_shot_run() {
+        let g = small_graph();
+        let cluster = ClusterConfig::paper_cluster();
+        for algo in Algorithm::paper_suite(7) {
+            let fresh = algo
+                .run(
+                    &g,
+                    &GraphXStrategy::EdgePartition2D,
+                    8,
+                    &cluster,
+                    ExecutorMode::Sequential,
+                )
+                .unwrap();
+            let mut ws = ws(ExecutorMode::Sequential);
+            // Dispatch twice: miss, then hit — both must equal the fresh run.
+            for round in 0..2 {
+                let job = ws.run_job_isolated(&algo, GraphXStrategy::EdgePartition2D, 8);
+                assert_eq!(job.cache_hit, round == 1, "{}", algo.abbrev());
+                assert_eq!(
+                    job.result.as_ref().unwrap(),
+                    &fresh.sim,
+                    "{}",
+                    algo.abbrev()
+                );
+                assert_eq!(job.supersteps, fresh.supersteps);
+                assert_eq!(job.metrics, fresh.metrics);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_keyed_by_strategy_granularity_and_orientation() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let pr = Algorithm::PageRank { iterations: 2 };
+        ws.run_job_isolated(&pr, GraphXStrategy::SourceCut, 8);
+        ws.run_job_isolated(&pr, GraphXStrategy::SourceCut, 16); // granularity
+        ws.run_job_isolated(&pr, GraphXStrategy::DestinationCut, 8); // strategy
+        ws.run_job_isolated(&Algorithm::Triangles, GraphXStrategy::SourceCut, 8); // orientation
+        assert_eq!(ws.cached_cuts(), 4);
+        assert_eq!(ws.stats().cache_misses, 4);
+        ws.run_job_isolated(&pr, GraphXStrategy::SourceCut, 8);
+        assert_eq!(ws.cached_cuts(), 4);
+        assert_eq!(ws.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn serving_charges_load_once_and_repartition_per_switch() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let pr = Algorithm::PageRank { iterations: 2 };
+        let cc = Algorithm::ConnectedComponents { max_iterations: 3 };
+        let a = ws.run_job_with(
+            &pr,
+            &CutChoice::Fixed {
+                strategy: GraphXStrategy::SourceCut,
+                num_parts: 8,
+            },
+            ExecutorMode::Sequential,
+        );
+        assert!(a.switched_cut, "first job activates a cut");
+        assert!(a.provisioning_seconds > 0.0, "load + first repartition");
+        // Same cut again: nothing to provision.
+        let b = ws.run_job_with(
+            &cc,
+            &CutChoice::Fixed {
+                strategy: GraphXStrategy::SourceCut,
+                num_parts: 8,
+            },
+            ExecutorMode::Sequential,
+        );
+        assert!(b.cache_hit && !b.switched_cut);
+        assert_eq!(b.provisioning_seconds, 0.0);
+        // Different cut: a repartition, but no second load.
+        let c = ws.run_job_with(
+            &pr,
+            &CutChoice::Fixed {
+                strategy: GraphXStrategy::DestinationCut,
+                num_parts: 8,
+            },
+            ExecutorMode::Sequential,
+        );
+        assert!(c.switched_cut);
+        assert!(c.provisioning_seconds > 0.0);
+        assert!(
+            c.provisioning_seconds < a.provisioning_seconds,
+            "switch alone must cost less than load + switch: {} vs {}",
+            c.provisioning_seconds,
+            a.provisioning_seconds
+        );
+        // Switching back re-bills: the model keeps one active cut resident.
+        let d = ws.run_job_with(
+            &pr,
+            &CutChoice::Fixed {
+                strategy: GraphXStrategy::SourceCut,
+                num_parts: 8,
+            },
+            ExecutorMode::Sequential,
+        );
+        assert!(d.cache_hit && d.switched_cut);
+        assert_eq!(ws.stats().cut_switches, 3);
+        assert_eq!(ws.session_report().supersteps, 3, "one per repartition");
+    }
+
+    #[test]
+    fn advised_cuts_are_memoized_and_tailored_per_class() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let pr_key = ws.resolve(&Algorithm::PageRank { iterations: 2 }, &CutChoice::Advised);
+        let cc_key = ws.resolve(
+            &Algorithm::ConnectedComponents { max_iterations: 3 },
+            &CutChoice::Advised,
+        );
+        let tr_key = ws.resolve(&Algorithm::Triangles, &CutChoice::Advised);
+        // PR is coarse, CC fine: same class, different granularity.
+        assert_eq!(pr_key.num_parts * 2, cc_key.num_parts);
+        assert!(!pr_key.canonical && !cc_key.canonical);
+        assert!(tr_key.canonical, "TR cuts the canonical orientation");
+        // Resolution is deterministic and memoized.
+        assert_eq!(
+            ws.resolve(&Algorithm::PageRank { iterations: 2 }, &CutChoice::Advised),
+            pr_key
+        );
+    }
+
+    #[test]
+    fn probed_advice_materializes_candidates_once_and_memoizes() {
+        let mut ws = ws(ExecutorMode::Sequential).with_advice_mode(AdviceMode::Probed);
+        let pr = Algorithm::PageRank { iterations: 2 };
+        let key = ws.resolve(&pr, &CutChoice::AdvisedAt { num_parts: 8 });
+        // Probing ranked all six candidates: all six cuts are now cached,
+        // and the probes' simulated cost is tracked separately.
+        assert_eq!(ws.cached_cuts(), 6);
+        let advice_cost = ws.advice_seconds();
+        assert!(advice_cost > 0.0);
+        // Memoized: resolving again probes nothing.
+        assert_eq!(ws.resolve(&pr, &CutChoice::AdvisedAt { num_parts: 8 }), key);
+        assert_eq!(ws.advice_seconds(), advice_cost);
+        // The probe-ranked winner really is the fastest candidate for the
+        // probe job itself.
+        let mut times = Vec::new();
+        for s in GraphXStrategy::all() {
+            let job = ws.run_job_isolated(&pr, s, 8);
+            times.push((s, job.time_s().unwrap()));
+        }
+        let fastest = times
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("six candidates")
+            .1;
+        let chosen = times.iter().find(|(s, _)| *s == key.strategy).unwrap().1;
+        // PR{2} probes predict PR{2}: the chosen cut's time is the minimum.
+        assert_eq!(chosen, fastest);
+    }
+
+    #[test]
+    fn run_workload_records_failures_without_aborting() {
+        let tiny = ClusterConfig {
+            executor_memory_gb: 1e-6,
+            ..ClusterConfig::paper_cluster()
+        };
+        let mut ws = Workspace::new(small_graph(), tiny, ExecutorMode::Sequential);
+        let report = ws.run_workload(&[
+            Job::fixed(
+                Algorithm::PageRank { iterations: 2 },
+                GraphXStrategy::SourceCut,
+                8,
+            ),
+            Job::fixed(
+                Algorithm::ConnectedComponents { max_iterations: 2 },
+                GraphXStrategy::SourceCut,
+                8,
+            ),
+        ]);
+        assert_eq!(report.jobs.len(), 2, "failures are recorded, not fatal");
+        assert!(report.failures() >= 1);
+    }
+
+    #[test]
+    fn workload_totals_add_up() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let report = ws.run_workload(&[
+            Job::advised_at(Algorithm::PageRank { iterations: 2 }, 8),
+            Job::advised_at(Algorithm::ConnectedComponents { max_iterations: 3 }, 8),
+            Job::advised_at(Algorithm::Triangles, 8),
+        ]);
+        assert_eq!(report.failures(), 0);
+        let total = report.total_seconds();
+        assert!((total - (report.job_seconds() + report.provisioning_seconds())).abs() < 1e-12);
+        assert!(total > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("PR") && rendered.contains("TR"));
+    }
+
+    #[test]
+    fn materialized_cuts_are_shared() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let a = ws.materialized(GraphXStrategy::EdgePartition2D, 8);
+        let b = ws.materialized(GraphXStrategy::EdgePartition2D, 8);
+        assert!(Arc::ptr_eq(&a, &b), "same Arc, not a rebuild");
+        let m = ws.metrics_of(GraphXStrategy::EdgePartition2D, 8);
+        assert_eq!(m, PartitionMetrics::of(&a));
+    }
+}

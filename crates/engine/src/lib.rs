@@ -33,5 +33,5 @@ pub mod program;
 #[cfg(test)]
 mod tests_direction;
 
-pub use pregel::{run_pregel, ExecutorMode, PregelConfig, PregelResult};
+pub use pregel::{run_pregel, ExecutorMode, PregelConfig, PregelResult, PreparedRun};
 pub use program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram};

@@ -25,10 +25,12 @@
 //! parallel executors are bit-identical to sequential execution in both
 //! vertex states and the metered [`SimReport`].
 
+use std::sync::Arc;
+
 use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport, SuperstepLedger};
 use cutfit_graph::types::PartId;
 use cutfit_graph::VertexId;
-use cutfit_partition::{PartitionedGraph, NO_PART};
+use cutfit_partition::{EdgePartition, PartitionedGraph, NO_PART};
 use cutfit_util::exec::{run_chunked, run_ranges, DisjointSlice};
 use cutfit_util::hash::hash64;
 
@@ -100,25 +102,19 @@ pub struct PregelResult<V> {
     pub sim: SimReport,
 }
 
-/// Per-partition slice of the run-scoped index.
-struct PartIndex<'a> {
-    /// The partition's edges as (local src, local dst), borrowed — copying
-    /// (or widening) them per run costs more memory traffic than the
-    /// single L1-resident `globals` load it would save.
-    edges: &'a [(u32, u32)],
-    /// Local→global id table, borrowed from the partition: endpoint
-    /// resolution is one array load, never a binary search.
-    globals: &'a [VertexId],
+/// Per-partition slice of the run-scoped index. Edge and local→global
+/// tables are *not* duplicated here — the loop reads them straight from the
+/// [`PartitionedGraph`], which keeps the index self-contained (no borrows)
+/// so a [`PreparedRun`] can own both the `Arc`'d graph and its index.
+struct PartIndex {
     /// CSR offsets into `home_locals`, one group per home partition.
     home_offsets: Vec<u32>,
     /// Local vertex indices grouped by the home partition of their global
     /// vertex, ascending within each group.
     home_locals: Vec<u32>,
-    /// Bytes of partition structure resident every superstep.
-    structure_bytes: u64,
 }
 
-impl PartIndex<'_> {
+impl PartIndex {
     /// Local indices of this partition whose vertices are mastered at `q`.
     #[inline]
     fn locals_of_home(&self, q: usize) -> &[u32] {
@@ -126,29 +122,51 @@ impl PartIndex<'_> {
     }
 }
 
+/// Precomputed setup-superstep aggregates, used to meter the initial apply
+/// + replica broadcast of **fixed-size-state** programs in O(partitions +
+/// executor pairs) instead of O(vertices + replicas) per dispatch: the
+/// per-message bill is then a constant, so only the counts matter — and
+/// the counts are a property of the cut, not of the program.
+struct SetupAggregates {
+    /// Vertices mastered (hash fallback included) at each partition.
+    home_counts: Vec<u64>,
+    /// Isolated (`NO_PART`) vertices per hash-fallback home.
+    isolated_counts: Vec<u64>,
+    /// `((master_exec, mirror_exec), messages)` of the initial state
+    /// broadcast, sparse and sorted (an executor-pair matrix would cost
+    /// `executors²` memory on huge clusters).
+    bcast_pairs: Vec<((u32, u32), u64)>,
+}
+
 /// Immutable run-scoped index precomputed from the [`PartitionedGraph`] so
 /// the superstep loop does no routing lookups, hashing, or binary searches.
-struct ScanIndex<'a> {
+struct ScanIndex {
     /// Master partition per vertex, with the isolated-vertex hash fallback
     /// folded in (GraphX hash-partitions the vertex RDD; vertices without
     /// edges still live somewhere).
     home: Vec<PartId>,
     /// Executor hosting each partition.
     exec_of_part: Vec<u32>,
-    /// Per-partition edge/vertex tables and local groupings.
-    parts: Vec<PartIndex<'a>>,
+    /// Per-partition local groupings by home (empty unless sharded).
+    parts: Vec<PartIndex>,
     /// CSR offsets into `home_verts`, one group per home partition.
     vert_offsets: Vec<u64>,
     /// All vertex ids grouped by home partition, ascending within groups.
     home_verts: Vec<VertexId>,
+    /// Setup-superstep aggregates for fixed-size-state metering; `None`
+    /// when the caller knows no fixed-size program will run (the O(V +
+    /// replicas) aggregation pass would be pure waste there).
+    setup: Option<SetupAggregates>,
 }
 
-impl<'a> ScanIndex<'a> {
+impl ScanIndex {
     /// Builds the index. The home-sharded groupings (`home_locals`,
     /// `home_verts`) are only needed by the multi-threaded shuffle/apply —
     /// the single-thread path sweeps linearly — so they are built only when
-    /// `shards` is set.
-    fn build(pg: &'a PartitionedGraph, cluster: &ClusterConfig, shards: bool) -> Self {
+    /// `shards` is set. Likewise the setup aggregates are built only when
+    /// `setup` is set: one-shot runs of variable-size-state programs take
+    /// the per-vertex metering sweep and never read them.
+    fn build(pg: &PartitionedGraph, cluster: &ClusterConfig, shards: bool, setup: bool) -> Self {
         let n = pg.num_vertices() as usize;
         let np = pg.num_parts() as usize;
         let home: Vec<PartId> = pg
@@ -193,14 +211,47 @@ impl<'a> ScanIndex<'a> {
                     (Vec::new(), Vec::new())
                 };
                 PartIndex {
-                    edges: &part.edges,
-                    globals: &part.vertices,
                     home_offsets,
                     home_locals,
-                    structure_bytes: part.structure_bytes(),
                 }
             })
             .collect();
+
+        let setup = setup.then(|| {
+            let mut home_counts = vec![0u64; np];
+            for &h in &home {
+                home_counts[h as usize] += 1;
+            }
+            let mut isolated_counts = vec![0u64; np];
+            for (v, &m) in pg.masters().iter().enumerate() {
+                if m == NO_PART {
+                    isolated_counts[home[v] as usize] += 1;
+                }
+            }
+            let mut pairs: std::collections::HashMap<(u32, u32), u64> =
+                std::collections::HashMap::new();
+            for v in 0..n as u64 {
+                let replicas = pg.routing().parts_of(v);
+                if replicas.len() > 1 {
+                    let h = home[v as usize];
+                    let master_exec = exec_of_part[h as usize];
+                    for &p in replicas {
+                        if p != h {
+                            *pairs
+                                .entry((master_exec, exec_of_part[p as usize]))
+                                .or_default() += 1;
+                        }
+                    }
+                }
+            }
+            let mut bcast_pairs: Vec<((u32, u32), u64)> = pairs.into_iter().collect();
+            bcast_pairs.sort_unstable();
+            SetupAggregates {
+                home_counts,
+                isolated_counts,
+                bcast_pairs,
+            }
+        });
 
         let (vert_offsets, home_verts) = if shards {
             let mut offsets = vec![0u64; np + 1];
@@ -227,6 +278,7 @@ impl<'a> ScanIndex<'a> {
             parts,
             vert_offsets,
             home_verts,
+            setup,
         }
     }
 
@@ -340,44 +392,241 @@ where
     run_chunked(num_parts, threads, deltas, work);
 }
 
+/// Global out/in degree tables, derived from the partitioned edge tables
+/// (the engine never touches the original edge list).
+fn degree_tables(pg: &PartitionedGraph) -> (Vec<u32>, Vec<u32>) {
+    let n = pg.num_vertices() as usize;
+    let mut out_deg = vec![0u32; n];
+    let mut in_deg = vec![0u32; n];
+    for part in pg.parts() {
+        for &(ls, ld) in &part.edges {
+            out_deg[part.vertices[ls as usize] as usize] += 1;
+            in_deg[part.vertices[ld as usize] as usize] += 1;
+        }
+    }
+    (out_deg, in_deg)
+}
+
+/// Program-independent run scratch: activity bitsets, matched-edge counts,
+/// and per-thread metering deltas. A [`PreparedRun`] keeps one of these
+/// alive across jobs so back-to-back dispatches allocate nothing here (the
+/// message-typed inbox/partial buffers are per-program and stay per-run).
+struct RunBuffers {
+    active: Vec<bool>,
+    next_active: Vec<bool>,
+    matched: Vec<u64>,
+    deltas: Vec<MeterDelta>,
+}
+
+impl RunBuffers {
+    fn new(n: usize, num_parts: usize, executors: usize, threads: usize) -> Self {
+        Self {
+            active: vec![true; n],
+            next_active: vec![false; n],
+            matched: vec![0; num_parts],
+            deltas: (0..threads)
+                .map(|_| MeterDelta::new(executors, num_parts))
+                .collect(),
+        }
+    }
+}
+
 /// Runs `program` over `pg` on the simulated `cluster`.
 ///
 /// Returns [`SimError::OutOfMemory`] if the modelled memory demand exceeds
 /// an executor's budget — partial results are discarded, as they would be
 /// on the real system.
+///
+/// This is the one-shot entry point: it builds the run-scoped index and
+/// buffers, runs, and throws them away. Callers dispatching several jobs
+/// against the same cut should build a [`PreparedRun`] once instead.
 pub fn run_pregel<P: VertexProgram>(
     program: &P,
     pg: &PartitionedGraph,
     cluster: &ClusterConfig,
     opts: &PregelConfig,
 ) -> Result<PregelResult<P::State>, SimError> {
-    let n = pg.num_vertices() as usize;
     let np = pg.num_parts() as usize;
     let threads = opts.executor.threads().min(np.max(1));
+    let index = ScanIndex::build(
+        pg,
+        cluster,
+        threads > 1,
+        program.fixed_state_bytes().is_some(),
+    );
+    let (out_deg, in_deg) = degree_tables(pg);
     let mut sim = ClusterSim::new(cluster.clone(), pg.num_parts());
-    let msg_overhead = cluster.cost.message_overhead_bytes;
+    let mut buffers = RunBuffers::new(
+        pg.num_vertices() as usize,
+        np,
+        cluster.executors as usize,
+        threads,
+    );
+    let (states, supersteps, converged) = execute(
+        program,
+        pg,
+        &index,
+        &out_deg,
+        &in_deg,
+        &mut sim,
+        &mut buffers,
+        threads,
+        opts,
+    )?;
+    Ok(PregelResult {
+        states,
+        supersteps,
+        converged,
+        sim: sim.into_report(),
+    })
+}
 
-    let index = ScanIndex::build(pg, cluster, threads > 1);
+/// A run-scoped handle over one materialized cut: the routing index, degree
+/// tables, reusable metering sim, and program-independent buffers, built
+/// once and shared by every job dispatched against the same
+/// [`PartitionedGraph`]. Back-to-back jobs on one cut skip all routing
+/// setup — the serving layer's cache-hit path is
+/// [`PreparedRun::run`], which only allocates the message-typed buffers of
+/// the program it executes.
+///
+/// The handle is prepared for a maximum parallelism at construction
+/// ([`ExecutorMode::threads`] of the mode passed to [`PreparedRun::new`]);
+/// a run requesting more threads is clamped to that budget. Results are
+/// bit-identical at every thread count, so clamping never changes states
+/// or the metered [`SimReport`].
+pub struct PreparedRun {
+    pg: Arc<PartitionedGraph>,
+    index: ScanIndex,
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    sim: ClusterSim,
+    buffers: RunBuffers,
+    threads: usize,
+}
 
-    // Global degrees, derived from the pre-resolved endpoints.
-    let mut out_deg = vec![0u32; n];
-    let mut in_deg = vec![0u32; n];
-    for part in &index.parts {
-        for &(ls, ld) in part.edges {
-            out_deg[part.globals[ls as usize] as usize] += 1;
-            in_deg[part.globals[ld as usize] as usize] += 1;
+impl PreparedRun {
+    /// Builds the routing index, degree tables, and reusable buffers for
+    /// `pg` on `cluster`, sized for `executor`'s thread budget. Keeps the
+    /// fixed-size-state setup aggregates — the right default for session
+    /// handles that serve arbitrary programs.
+    pub fn new(pg: Arc<PartitionedGraph>, cluster: &ClusterConfig, executor: ExecutorMode) -> Self {
+        Self::with_setup_aggregates(pg, cluster, executor, true)
+    }
+
+    /// [`PreparedRun::new`] with control over the setup aggregates: pass
+    /// `false` when every program dispatched through this handle has
+    /// variable-size state ([`VertexProgram::fixed_state_bytes`] is
+    /// `None`), so the O(vertices + replicas) aggregation pass — which
+    /// such programs never read — is skipped.
+    pub fn with_setup_aggregates(
+        pg: Arc<PartitionedGraph>,
+        cluster: &ClusterConfig,
+        executor: ExecutorMode,
+        setup: bool,
+    ) -> Self {
+        let np = pg.num_parts() as usize;
+        let threads = executor.threads().min(np.max(1));
+        let index = ScanIndex::build(&pg, cluster, threads > 1, setup);
+        let (out_deg, in_deg) = degree_tables(&pg);
+        let sim = ClusterSim::new(cluster.clone(), pg.num_parts());
+        let buffers = RunBuffers::new(
+            pg.num_vertices() as usize,
+            np,
+            cluster.executors as usize,
+            threads,
+        );
+        Self {
+            pg,
+            index,
+            out_deg,
+            in_deg,
+            sim,
+            buffers,
+            threads,
         }
     }
 
+    /// The cut this handle was prepared for.
+    pub fn graph(&self) -> &Arc<PartitionedGraph> {
+        &self.pg
+    }
+
+    /// The cluster the metering sim bills against.
+    pub fn cluster(&self) -> &ClusterConfig {
+        self.sim.config()
+    }
+
+    /// The thread budget the handle was prepared for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `program` on the prepared cut. Bit-identical — vertex states
+    /// *and* [`SimReport`] — to [`run_pregel`] on the same graph, cluster,
+    /// and options, for any sequence of prior runs through this handle:
+    /// the metering sim is [`ClusterSim::reset`] (allocations kept) and
+    /// every reused buffer is re-initialized before the loop starts.
+    pub fn run<P: VertexProgram>(
+        &mut self,
+        program: &P,
+        opts: &PregelConfig,
+    ) -> Result<PregelResult<P::State>, SimError> {
+        let np = self.pg.num_parts() as usize;
+        let threads = opts.executor.threads().min(self.threads).min(np.max(1));
+        self.sim.reset();
+        let (states, supersteps, converged) = execute(
+            program,
+            &self.pg,
+            &self.index,
+            &self.out_deg,
+            &self.in_deg,
+            &mut self.sim,
+            &mut self.buffers,
+            threads,
+            opts,
+        )?;
+        Ok(PregelResult {
+            states,
+            supersteps,
+            converged,
+            sim: self.sim.report().clone(),
+        })
+    }
+}
+
+/// The superstep loop shared by [`run_pregel`] (transient index/buffers)
+/// and [`PreparedRun::run`] (cached index, reused buffers). `threads` is
+/// the already-clamped worker count; `opts` supplies the iteration cap and
+/// load-charging policy.
+#[allow(clippy::too_many_arguments)]
+fn execute<P: VertexProgram>(
+    program: &P,
+    pg: &PartitionedGraph,
+    index: &ScanIndex,
+    out_deg: &[u32],
+    in_deg: &[u32],
+    sim: &mut ClusterSim,
+    buffers: &mut RunBuffers,
+    threads: usize,
+    opts: &PregelConfig,
+) -> Result<(Vec<P::State>, u64, bool), SimError> {
+    let n = pg.num_vertices() as usize;
+    let np = pg.num_parts() as usize;
+    let msg_overhead = sim.config().cost.message_overhead_bytes;
+    let executors = sim.config().executors as usize;
+    debug_assert_eq!(executors, buffers.deltas[0].executors);
+
     if opts.charge_initial_load {
-        // Edge list (two ids per edge) plus one state record per vertex.
-        sim.charge_load(pg.num_edges() * 16 + n as u64 * 8);
+        sim.charge_load(cutfit_cluster::load_bytes(
+            pg.num_vertices(),
+            pg.num_edges(),
+        ));
     }
 
     // --- Setup: initial apply on every vertex + replica broadcast. ---
     let ctx = InitCtx {
-        out_degrees: &out_deg,
-        in_degrees: &in_deg,
+        out_degrees: out_deg,
+        in_degrees: in_deg,
         num_vertices: pg.num_vertices(),
     };
     let init_msg = program.initial_msg();
@@ -387,17 +636,44 @@ pub fn run_pregel<P: VertexProgram>(
             program.apply(v, &s, &init_msg)
         })
         .collect();
-    for v in 0..n as u64 {
-        let home = index.home[v as usize];
-        sim.ledger().vertex_ops(home, 1);
-        let replicas = pg.routing().parts_of(v);
-        if replicas.len() > 1 {
-            let bytes = program.state_bytes(&states[v as usize]) + msg_overhead;
-            let master_exec = index.exec_of_part[home as usize];
-            for &p in replicas {
-                if p != home {
-                    sim.ledger()
-                        .send_exec(master_exec, index.exec_of_part[p as usize], 1, bytes);
+    let fixed_state = program.fixed_state_bytes();
+    let batched_setup = match (fixed_state, &index.setup) {
+        (Some(size), Some(setup)) => Some((size, setup)),
+        _ => None,
+    };
+    if let Some((size, setup)) = batched_setup {
+        // Every state bills the same constant, so the setup superstep is a
+        // pure function of the cut's precomputed counts: one vertex op per
+        // mastered vertex, one broadcast message per (vertex, mirror)
+        // pair — batched per executor pair. Ledger accumulation is
+        // commutative integer addition, so this is bit-identical to the
+        // per-vertex sweep below.
+        for (q, &count) in setup.home_counts.iter().enumerate() {
+            if count > 0 {
+                sim.ledger().vertex_ops(q as PartId, count);
+            }
+        }
+        let bytes = size + msg_overhead;
+        for &((from, to), msgs) in &setup.bcast_pairs {
+            sim.ledger().send_exec(from, to, msgs, msgs * bytes);
+        }
+    } else {
+        for v in 0..n as u64 {
+            let home = index.home[v as usize];
+            sim.ledger().vertex_ops(home, 1);
+            let replicas = pg.routing().parts_of(v);
+            if replicas.len() > 1 {
+                let bytes = program.state_bytes(&states[v as usize]) + msg_overhead;
+                let master_exec = index.exec_of_part[home as usize];
+                for &p in replicas {
+                    if p != home {
+                        sim.ledger().send_exec(
+                            master_exec,
+                            index.exec_of_part[p as usize],
+                            1,
+                            bytes,
+                        );
+                    }
                 }
             }
         }
@@ -405,8 +681,7 @@ pub fn run_pregel<P: VertexProgram>(
 
     // --- Residency: structure + replica states, declared once and updated
     //     incrementally; re-summing every replica per superstep is gone. ---
-    let fixed_state = program.fixed_state_bytes();
-    let mut resident: Vec<u64> = index.parts.iter().map(|pi| pi.structure_bytes).collect();
+    let mut resident: Vec<u64> = pg.parts().iter().map(|p| p.structure_bytes()).collect();
     for (p, part) in pg.parts().iter().enumerate() {
         resident[p] += match fixed_state {
             Some(size) => part.num_vertices() * size,
@@ -421,9 +696,15 @@ pub fn run_pregel<P: VertexProgram>(
     // hash-fallback home (the vertex RDD is hash-partitioned regardless of
     // edges) — and since messages only travel along edges, those states
     // never change after setup: charge them once.
-    for (v, &master) in pg.masters().iter().enumerate() {
-        if master == NO_PART {
-            resident[index.home[v] as usize] += program.state_bytes(&states[v]);
+    if let Some((size, setup)) = batched_setup {
+        for (q, &count) in setup.isolated_counts.iter().enumerate() {
+            resident[q] += count * size;
+        }
+    } else {
+        for (v, &master) in pg.masters().iter().enumerate() {
+            if master == NO_PART {
+                resident[index.home[v] as usize] += program.state_bytes(&states[v]);
+            }
         }
     }
     for (p, &bytes) in resident.iter().enumerate() {
@@ -432,7 +713,10 @@ pub fn run_pregel<P: VertexProgram>(
     drop(resident);
     sim.end_superstep()?;
 
-    // --- Run-scoped buffers, allocated once and cleared in place. ---
+    // --- Run-scoped buffers: message-typed inbox/partials are allocated
+    //     per run (the message type changes with the program); everything
+    //     program-independent comes from the reusable `RunBuffers` and is
+    //     re-initialized in place. ---
     let mut partials: Vec<Vec<Option<P::Msg>>> = pg
         .parts()
         .iter()
@@ -442,14 +726,15 @@ pub fn run_pregel<P: VertexProgram>(
                 .collect()
         })
         .collect();
-    let mut matched = vec![0u64; np];
     let mut inbox: Vec<Option<P::Msg>> = std::iter::repeat_with(|| None).take(n).collect();
-    let mut active = vec![true; n];
-    let mut next_active = vec![false; n];
-    let executors = cluster.executors as usize;
-    let mut deltas: Vec<MeterDelta> = (0..threads)
-        .map(|_| MeterDelta::new(executors, np))
-        .collect();
+    let RunBuffers {
+        active,
+        next_active,
+        matched,
+        deltas,
+    } = buffers;
+    let deltas = &mut deltas[..threads];
+    active.fill(true);
 
     // --- Superstep loop. ---
     let mut supersteps = 0u64;
@@ -459,13 +744,13 @@ pub fn run_pregel<P: VertexProgram>(
         //    edge partitions.
         scan_all(
             program,
-            &index,
+            pg,
             &states,
-            &active,
-            &out_deg,
-            &in_deg,
+            active,
+            out_deg,
+            in_deg,
             &mut partials,
-            &mut matched,
+            matched,
             threads,
         );
         for (p, &m) in matched.iter().enumerate() {
@@ -483,11 +768,11 @@ pub fn run_pregel<P: VertexProgram>(
             let delta = &mut deltas[0];
             delta.reset();
             for (p, partial) in partials.iter_mut().enumerate() {
-                let part = &index.parts[p];
+                let globals = &pg.parts()[p].vertices;
                 let from_exec = index.exec_of_part[p];
                 for (local, slot) in partial.iter_mut().enumerate() {
                     let Some(msg) = slot.take() else { continue };
-                    let v = part.globals[local] as usize;
+                    let v = globals[local] as usize;
                     let q = index.home[v] as usize;
                     let bytes = program.msg_bytes(&msg) + msg_overhead;
                     delta.send_exec(from_exec, index.exec_of_part[q], 1, bytes);
@@ -504,17 +789,18 @@ pub fn run_pregel<P: VertexProgram>(
             let inbox_cells = DisjointSlice::new(&mut inbox);
             let partial_cells: Vec<DisjointSlice<'_, Option<P::Msg>>> =
                 partials.iter_mut().map(|p| DisjointSlice::new(p)).collect();
-            run_on_pool(np, threads, &mut deltas, |homes, delta| {
+            run_on_pool(np, threads, deltas, |homes, delta| {
                 for q in homes {
                     let to_exec = index.exec_of_part[q];
-                    for (p, part) in index.parts.iter().enumerate() {
+                    for (p, pindex) in index.parts.iter().enumerate() {
                         let from_exec = index.exec_of_part[p];
-                        for &local in part.locals_of_home(q) {
+                        let globals = &pg.parts()[p].vertices;
+                        for &local in pindex.locals_of_home(q) {
                             // SAFETY: (p, local) resolves to a vertex whose
                             // home is q, and q belongs to this thread only.
                             let slot = unsafe { partial_cells[p].get_mut(local as usize) };
                             let Some(msg) = slot.take() else { continue };
-                            let v = part.globals[local as usize];
+                            let v = globals[local as usize];
                             let bytes = program.msg_bytes(&msg) + msg_overhead;
                             delta.send_exec(from_exec, to_exec, 1, bytes);
                             delta.local_bytes[q] += bytes;
@@ -531,7 +817,7 @@ pub fn run_pregel<P: VertexProgram>(
             });
         }
         let msg_count: u64 = deltas.iter().map(|d| d.msgs).sum();
-        for delta in &deltas {
+        for delta in deltas.iter() {
             delta.flush_ledger(sim.ledger());
         }
 
@@ -584,8 +870,8 @@ pub fn run_pregel<P: VertexProgram>(
         } else {
             let inbox_cells = DisjointSlice::new(&mut inbox);
             let state_cells = DisjointSlice::new(&mut states);
-            let active_cells = DisjointSlice::new(&mut next_active);
-            run_on_pool(np, threads, &mut deltas, |homes, delta| {
+            let active_cells = DisjointSlice::new(next_active);
+            run_on_pool(np, threads, deltas, |homes, delta| {
                 for q in homes {
                     let master_exec = index.exec_of_part[q];
                     for &v in index.verts_of_home(q) {
@@ -627,21 +913,16 @@ pub fn run_pregel<P: VertexProgram>(
                 }
             });
         }
-        for delta in &deltas {
+        for delta in deltas.iter() {
             delta.flush_ledger(sim.ledger());
-            delta.flush_resident(&mut sim);
+            delta.flush_resident(sim);
         }
-        std::mem::swap(&mut active, &mut next_active);
+        std::mem::swap(active, next_active);
         supersteps += 1;
         sim.end_superstep()?;
     }
 
-    Ok(PregelResult {
-        states,
-        supersteps,
-        converged,
-        sim: sim.into_report(),
-    })
+    Ok((states, supersteps, converged))
 }
 
 /// Scans all partitions, sequentially or on the pool, writing per-partition
@@ -650,7 +931,7 @@ pub fn run_pregel<P: VertexProgram>(
 #[allow(clippy::too_many_arguments)]
 fn scan_all<P: VertexProgram>(
     program: &P,
-    index: &ScanIndex,
+    pg: &PartitionedGraph,
     states: &[P::State],
     active: &[bool],
     out_deg: &[u32],
@@ -660,21 +941,21 @@ fn scan_all<P: VertexProgram>(
     threads: usize,
 ) {
     if threads <= 1 {
-        for ((part, partial), m) in index.parts.iter().zip(partials).zip(matched) {
+        for ((part, partial), m) in pg.parts().iter().zip(partials).zip(matched) {
             *m = scan_partition(program, part, states, active, out_deg, in_deg, partial);
         }
         return;
     }
     let partial_cells = DisjointSlice::new(partials);
     let matched_cells = DisjointSlice::new(matched);
-    run_ranges(index.parts.len(), threads, |parts| {
+    run_ranges(pg.parts().len(), threads, |parts| {
         for p in parts {
             // SAFETY: partition ranges are disjoint across threads, so each
             // partition's partial buffer and matched slot has one writer.
             let partial = unsafe { partial_cells.get_mut(p) };
             let m = scan_partition(
                 program,
-                &index.parts[p],
+                &pg.parts()[p],
                 states,
                 active,
                 out_deg,
@@ -690,7 +971,7 @@ fn scan_all<P: VertexProgram>(
 /// local-vertex-indexed buffer (left all-`None` by the previous shuffle).
 fn scan_partition<P: VertexProgram>(
     program: &P,
-    part: &PartIndex,
+    part: &EdgePartition,
     states: &[P::State],
     active: &[bool],
     out_deg: &[u32],
@@ -699,9 +980,9 @@ fn scan_partition<P: VertexProgram>(
 ) -> u64 {
     let mut matched = 0u64;
     let dir = program.active_direction();
-    for &(ls, ld) in part.edges {
-        let src = part.globals[ls as usize];
-        let dst = part.globals[ld as usize];
+    for &(ls, ld) in &part.edges {
+        let src = part.vertices[ls as usize];
+        let dst = part.vertices[ld as usize];
         let s = src as usize;
         let d = dst as usize;
         let scan = match dir {
@@ -1039,6 +1320,146 @@ mod tests {
         };
         let err = run_pregel(&MaxLabel, &pg, &tiny, &PregelConfig::default()).unwrap_err();
         assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    /// MaxLabel without the fixed-size declaration: takes the per-vertex
+    /// setup-metering sweep instead of the batched path.
+    struct MaxLabelUndeclared;
+    impl VertexProgram for MaxLabelUndeclared {
+        type State = u64;
+        type Msg = u64;
+        fn name(&self) -> &'static str {
+            "max-label-undeclared"
+        }
+        fn initial_state(&self, v: VertexId, _ctx: &InitCtx<'_>) -> u64 {
+            v
+        }
+        fn initial_msg(&self) -> u64 {
+            0
+        }
+        fn apply(&self, _v: VertexId, state: &u64, msg: &u64) -> u64 {
+            *state.max(msg)
+        }
+        fn send(&self, t: &Triplet<'_, u64>) -> Messages<u64> {
+            match (t.src_state > t.dst_state, t.dst_state > t.src_state) {
+                (true, _) => Messages::ToDst(*t.src_state),
+                (_, true) => Messages::ToSrc(*t.dst_state),
+                _ => Messages::None,
+            }
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a.max(b)
+        }
+    }
+
+    #[test]
+    fn batched_setup_metering_equals_the_per_vertex_sweep() {
+        // The same computation with and without the fixed-size-state
+        // declaration must bill identically: the batched setup path is
+        // an aggregation of the sweep, not a different model. Includes
+        // isolated vertices (hash-fallback residency goes through the
+        // precomputed isolated counts in the batched path).
+        let mut g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 9);
+        g = Graph::new(g.num_vertices() + 7, g.edges().to_vec());
+        for strategy in [
+            GraphXStrategy::RandomVertexCut,
+            GraphXStrategy::EdgePartition2D,
+            GraphXStrategy::SourceCut,
+        ] {
+            let pg = strategy.partition(&g, 16);
+            let declared = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+            let swept =
+                run_pregel(&MaxLabelUndeclared, &pg, &cfg(), &PregelConfig::default()).unwrap();
+            assert_eq!(declared.states, swept.states);
+            assert_eq!(declared.sim, swept.sim, "{strategy}: setup billing drifted");
+        }
+    }
+
+    #[test]
+    fn prepared_run_is_bit_identical_to_run_pregel_and_reusable() {
+        // One PreparedRun dispatching many jobs — same program repeatedly,
+        // then a different program with a different message type — must
+        // reproduce run_pregel bit for bit (states and SimReport) on every
+        // dispatch, in every executor mode.
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 9);
+        for mode in [
+            ExecutorMode::Sequential,
+            ExecutorMode::Parallel { threads: 4 },
+            ExecutorMode::Auto,
+        ] {
+            let pg = Arc::new(GraphXStrategy::EdgePartition2D.partition(&g, 16));
+            let opts = PregelConfig {
+                executor: mode,
+                ..Default::default()
+            };
+            let fresh = run_pregel(&MaxLabel, &pg, &cfg(), &opts).unwrap();
+            let mut prepared = PreparedRun::new(pg.clone(), &cfg(), mode);
+            for round in 0..3 {
+                let r = prepared.run(&MaxLabel, &opts).unwrap();
+                assert_eq!(r.states, fresh.states, "round {round}");
+                assert_eq!(r.sim, fresh.sim, "round {round}: metering drifted");
+                assert_eq!(r.supersteps, fresh.supersteps);
+                assert_eq!(r.converged, fresh.converged);
+            }
+            // A variable-size-state program through the same handle
+            // (exercises buffer re-initialization across message types).
+            let fresh_trail = run_pregel(&GrowingTrail, &pg, &cfg(), &opts).unwrap();
+            let trail = prepared.run(&GrowingTrail, &opts).unwrap();
+            assert_eq!(trail.states, fresh_trail.states);
+            assert_eq!(trail.sim, fresh_trail.sim);
+            // And back to the first program: nothing leaked.
+            let again = prepared.run(&MaxLabel, &opts).unwrap();
+            assert_eq!(again.sim, fresh.sim);
+        }
+    }
+
+    #[test]
+    fn prepared_run_clamps_threads_to_its_budget() {
+        // A handle prepared sequentially has no home shards; a parallel
+        // request degrades to the sequential sweep — with identical
+        // results, not a panic.
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 8);
+        let pg = Arc::new(GraphXStrategy::RandomVertexCut.partition(&g, 8));
+        let seq = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let mut prepared = PreparedRun::new(pg, &cfg(), ExecutorMode::Sequential);
+        assert_eq!(prepared.threads(), 1);
+        let r = prepared
+            .run(
+                &MaxLabel,
+                &PregelConfig {
+                    executor: ExecutorMode::Parallel { threads: 4 },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.states, seq.states);
+        assert_eq!(r.sim, seq.sim);
+    }
+
+    #[test]
+    fn prepared_run_recovers_after_oom() {
+        // An OOM abort must not poison the reused sim/buffers: raising the
+        // budget (fresh handle) or re-running a smaller program works, and
+        // a failed dispatch leaves the next one bit-identical to fresh.
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 10);
+        let pg = Arc::new(GraphXStrategy::RandomVertexCut.partition(&g, 8));
+        let tiny = ClusterConfig {
+            executor_memory_gb: 1e-6,
+            ..ClusterConfig::paper_cluster()
+        };
+        let mut prepared = PreparedRun::new(pg.clone(), &tiny, ExecutorMode::Sequential);
+        assert!(matches!(
+            prepared.run(&MaxLabel, &PregelConfig::default()),
+            Err(SimError::OutOfMemory { .. })
+        ));
+        // FatLabel OOMs too; MaxLabel keeps OOMing — what matters is that
+        // the *same* error reproduces (no residual ledger state shifting
+        // the failure point).
+        let a = prepared
+            .run(&MaxLabel, &PregelConfig::default())
+            .unwrap_err();
+        let b = run_pregel(&MaxLabel, &pg, &tiny, &PregelConfig::default()).unwrap_err();
+        assert_eq!(a, b, "failure must be reproducible through a reused handle");
     }
 
     #[test]

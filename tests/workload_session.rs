@@ -1,0 +1,190 @@
+//! Session determinism: serving a job from the workspace cache must be
+//! bit-identical — vertex states *and* metered `SimReport` — to running it
+//! fresh and uncached, across executor modes and partitioners. The cache
+//! may only make dispatch cheaper, never change what a job computes or
+//! what it is billed.
+
+use cutfit::algorithms::PageRank;
+use cutfit::prelude::*;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u64..100, 0usize..300).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            Graph::new(n, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
+        })
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = GraphXStrategy> {
+    proptest::sample::select(vec![
+        GraphXStrategy::RandomVertexCut,
+        GraphXStrategy::EdgePartition2D,
+        GraphXStrategy::DestinationCut,
+        GraphXStrategy::CanonicalRandomVertexCut,
+        GraphXStrategy::SourceCut,
+    ])
+}
+
+fn arb_mode() -> impl Strategy<Value = ExecutorMode> {
+    proptest::sample::select(vec![
+        ExecutorMode::Sequential,
+        ExecutorMode::Parallel { threads: 4 },
+        ExecutorMode::Auto,
+    ])
+}
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::paper_cluster()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Workspace-cached dispatch (miss, then hit) equals a fresh
+    /// `Algorithm::run` in `SimReport`, metrics, and supersteps — for a
+    /// fixed-size-state Pregel program (PR), a convergent one (CC), and
+    /// the non-Pregel dataflow (TR, canonical orientation).
+    #[test]
+    fn cached_jobs_bill_identically_to_fresh_runs(
+        graph in arb_graph(),
+        strategy in arb_strategy(),
+        mode in arb_mode(),
+        num_parts in 1u32..24,
+    ) {
+        let mut ws = Workspace::new(graph.clone(), cluster(), mode);
+        for algo in [
+            Algorithm::PageRank { iterations: 4 },
+            Algorithm::ConnectedComponents { max_iterations: 6 },
+            Algorithm::Triangles,
+        ] {
+            let fresh = algo.run(&graph, &strategy, num_parts, &cluster(), mode).unwrap();
+            let miss = ws.run_job_isolated(&algo, strategy, num_parts);
+            let hit = ws.run_job_isolated(&algo, strategy, num_parts);
+            prop_assert!(hit.cache_hit, "{}", algo.abbrev());
+            for job in [&miss, &hit] {
+                prop_assert_eq!(
+                    job.result.as_ref().unwrap(), &fresh.sim,
+                    "{}: cached bill must equal fresh bill", algo.abbrev()
+                );
+                prop_assert_eq!(&job.metrics, &fresh.metrics);
+                prop_assert_eq!(job.supersteps, fresh.supersteps);
+            }
+        }
+    }
+
+    /// Vertex states through a reused `PreparedRun` over the workspace's
+    /// memoized materialization equal a fresh uncached `run_pregel` —
+    /// repeatedly, so buffer reuse across dispatches is provably inert.
+    #[test]
+    fn cached_states_equal_fresh_states(
+        graph in arb_graph(),
+        strategy in arb_strategy(),
+        mode in arb_mode(),
+        num_parts in 1u32..24,
+    ) {
+        let mut ws = Workspace::new(graph, cluster(), mode);
+        let pg = ws.materialized(strategy, num_parts);
+        let opts = PregelConfig {
+            executor: mode,
+            max_iterations: 4,
+            ..Default::default()
+        };
+        let fresh = run_pregel(&PageRank, &pg, &cluster(), &opts).unwrap();
+        let mut prepared = PreparedRun::new(pg.clone(), &cluster(), mode);
+        for round in 0..2 {
+            let r = prepared.run(&PageRank, &opts).unwrap();
+            prop_assert_eq!(&r.states, &fresh.states, "round {}", round);
+            prop_assert_eq!(&r.sim, &fresh.sim, "round {}", round);
+        }
+    }
+
+    /// Serving-mode dispatch is deterministic: two workspaces fed the same
+    /// workload produce identical per-job bills and identical session
+    /// charges, and within one workspace a repeat of the active cut's job
+    /// re-bills exactly the same simulated time.
+    #[test]
+    fn serving_dispatch_is_deterministic(
+        graph in arb_graph(),
+        strategy in arb_strategy(),
+        mode in arb_mode(),
+        num_parts in 1u32..24,
+    ) {
+        let jobs = [
+            Job::fixed(Algorithm::PageRank { iterations: 3 }, strategy, num_parts),
+            Job::fixed(
+                Algorithm::ConnectedComponents { max_iterations: 5 },
+                strategy,
+                num_parts,
+            ),
+            Job::fixed(Algorithm::PageRank { iterations: 3 }, strategy, num_parts),
+        ];
+        let mut a = Workspace::new(graph.clone(), cluster(), mode);
+        let mut b = Workspace::new(graph, cluster(), mode);
+        let ra = a.run_workload(&jobs);
+        let rb = b.run_workload(&jobs);
+        prop_assert_eq!(ra.jobs.len(), rb.jobs.len());
+        for (x, y) in ra.jobs.iter().zip(&rb.jobs) {
+            prop_assert_eq!(x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+            prop_assert_eq!(x.provisioning_seconds, y.provisioning_seconds);
+            prop_assert_eq!(x.cache_hit, y.cache_hit);
+        }
+        prop_assert_eq!(a.session_report(), b.session_report());
+        // Jobs 0 and 2 are the same job on the same (active) cut: the
+        // repeat is a provisioning-free cache hit with an identical bill.
+        prop_assert!(ra.jobs[2].cache_hit);
+        prop_assert_eq!(ra.jobs[2].provisioning_seconds, 0.0);
+        prop_assert_eq!(
+            ra.jobs[2].result.as_ref().unwrap(),
+            ra.jobs[0].result.as_ref().unwrap()
+        );
+    }
+}
+
+/// The experiment grid through the workspace must reproduce the cell-by-
+/// cell observations of standalone `Algorithm::run` calls (the pre-session
+/// one-shot harness), including across executor modes.
+#[test]
+fn experiment_grid_equals_standalone_runs() {
+    let config = ExperimentConfig {
+        scale: 0.002,
+        seed: 42,
+        num_parts: vec![8, 16],
+        datasets: vec![DatasetProfile::youtube()],
+        partitioners: vec![
+            GraphXStrategy::RandomVertexCut,
+            GraphXStrategy::EdgePartition2D,
+            GraphXStrategy::DestinationCut,
+        ],
+        cluster: ClusterConfig::paper_cluster(),
+        executor: ExecutorMode::Sequential,
+        scale_memory: false,
+    };
+    for algo in [Algorithm::PageRank { iterations: 3 }, Algorithm::Triangles] {
+        let result = run_experiment(&algo, &config);
+        let graph = DatasetProfile::youtube().generate(config.scale, config.seed);
+        for obs in &result.observations {
+            let strategy = GraphXStrategy::all()
+                .into_iter()
+                .find(|s| s.abbrev() == obs.partitioner)
+                .unwrap();
+            let fresh = algo
+                .run(
+                    &graph,
+                    &strategy,
+                    obs.num_parts,
+                    &config.cluster,
+                    config.executor,
+                )
+                .unwrap();
+            assert_eq!(
+                obs.time_s,
+                Some(fresh.sim.total_seconds),
+                "{}",
+                obs.partitioner
+            );
+            assert_eq!(obs.metrics, fresh.metrics);
+            assert_eq!(obs.supersteps, fresh.supersteps);
+        }
+    }
+}
