@@ -17,23 +17,11 @@
 
 use cutfit_bench::runner::{emit, BenchArgs};
 use cutfit_core::prelude::*;
-use cutfit_core::session::CutKey;
 use cutfit_core::util::fmt::human_seconds;
 use cutfit_core::util::table::{Align, AsciiTable};
 
-/// Orders jobs so that jobs sharing a resolved cut run back to back
-/// (stable: submission order within a group, raw cuts before canonical).
-fn grouped(ws: &mut Workspace, jobs: &[Job]) -> Vec<Job> {
-    let mut keyed: Vec<(CutKey, Job)> = jobs
-        .iter()
-        .map(|j| (ws.resolve(&j.algorithm, &j.cut), j.clone()))
-        .collect();
-    keyed.sort_by_key(|(k, _)| (k.canonical, k.num_parts, k.strategy.abbrev()));
-    keyed.into_iter().map(|(_, j)| j).collect()
-}
-
 fn serve(mut ws: Workspace, jobs: &[Job]) -> (WorkloadReport, Workspace) {
-    let ordered = grouped(&mut ws, jobs);
+    let ordered = ws.schedule(jobs);
     let report = ws.run_workload(&ordered);
     (report, ws)
 }

@@ -12,5 +12,6 @@
 pub mod figure;
 pub mod metrics_table;
 pub mod runner;
+pub mod summary;
 
 pub use runner::BenchArgs;

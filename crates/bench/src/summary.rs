@@ -1,0 +1,164 @@
+//! Machine-readable result summaries for the experiment binaries.
+//!
+//! The micro-benchmarks get their `BENCH_*.json` summaries for free from
+//! the criterion shim; the experiment binaries (which report *simulated*
+//! seconds, not wall-clock) use this module to join the same pipeline.
+//! [`record_simulated`] appends one entry to the JSON array named by the
+//! `CUTFIT_BENCH_JSON` environment variable, using the exact file
+//! conventions of `crates/shims/criterion`:
+//!
+//! * one entry per line: `{"label":…,"min_ns":…,"mean_ns":…,"samples":…}`;
+//! * the whole array is rewritten after every record, so the file is
+//!   complete, valid JSON at all times — even if the binary aborts midway;
+//! * entries already present (from an earlier binary sharing the path) are
+//!   preserved; re-recording a label overwrites that label's entry.
+//!
+//! Simulated durations are encoded as integer nanoseconds in
+//! `min_ns`/`mean_ns` with `samples = 1` (the simulator is deterministic,
+//! so one sample *is* the distribution), which keeps downstream tooling
+//! oblivious to whether a number came from a stopwatch or the cost model.
+
+use std::sync::Mutex;
+
+/// Summary entries keyed by escaped label, in insertion order. `None`
+/// until the first record, at which point any existing summary file is
+/// loaded so several binaries sharing one `CUTFIT_BENCH_JSON` path merge
+/// instead of clobbering each other.
+static JSON_ENTRIES: Mutex<Option<Vec<(String, String)>>> = Mutex::new(None);
+
+/// Records one simulated-seconds result under `label` in the
+/// `CUTFIT_BENCH_JSON` summary file. No-op when the variable is unset or
+/// empty, or when `secs` is not finite. Returns `true` when an entry was
+/// recorded.
+pub fn record_simulated(label: &str, secs: f64) -> bool {
+    let Ok(path) = std::env::var("CUTFIT_BENCH_JSON") else {
+        return false;
+    };
+    if path.is_empty() || !secs.is_finite() || secs < 0.0 {
+        return false;
+    }
+    let ns = (secs * 1e9).round() as u128;
+    let key = json_string(label);
+    let entry = format!("{{\"label\":{key},\"min_ns\":{ns},\"mean_ns\":{ns},\"samples\":1}}");
+    let mut guard = JSON_ENTRIES.lock().expect("no poisoned recorders");
+    let entries = guard.get_or_insert_with(|| load_entries(&path));
+    entries.retain(|(k, _)| *k != key);
+    entries.push((key, entry));
+    let body = format!(
+        "[\n  {}\n]\n",
+        entries
+            .iter()
+            .map(|(_, e)| e.as_str())
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    // Best effort: an unwritable summary must not fail the experiment run.
+    std::fs::write(&path, body).is_ok()
+}
+
+/// Reads back a summary file written under these conventions (one entry
+/// per line), so a later binary extends it. Anything unparseable is
+/// dropped — the file is simply rebuilt from this process's entries.
+fn load_entries(path: &str) -> Vec<(String, String)> {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    existing
+        .lines()
+        .filter_map(|line| {
+            let entry = line.trim().trim_end_matches(',');
+            let rest = entry.strip_prefix("{\"label\":")?;
+            let key_len = rest
+                .char_indices()
+                .skip(1)
+                .find(|&(i, c)| c == '"' && !rest[..i].ends_with('\\'))
+                .map(|(i, _)| i + 1)?;
+            Some((rest[..key_len].to_string(), entry.to_string()))
+        })
+        .collect()
+}
+
+/// Minimal JSON string escaping for labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `record_simulated` reads a process-global env var and caches entries
+    // in a process-global Mutex, so the env-dependent assertions live in a
+    // single test to avoid cross-test interference under the parallel
+    // test runner.
+    #[test]
+    fn records_merge_and_overwrite_through_the_file() {
+        let dir = std::env::temp_dir().join("cutfit-bench-summary-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.json");
+        std::fs::write(
+            &path,
+            "[\n  {\"label\":\"kept/earlier\",\"min_ns\":5,\"mean_ns\":5,\"samples\":1}\n]\n",
+        )
+        .unwrap();
+        // SAFETY: tests in this binary touching this env var are serialized
+        // into this one function.
+        unsafe { std::env::set_var("CUTFIT_BENCH_JSON", &path) };
+        assert!(record_simulated("scenario/uniform/advised", 1.5));
+        assert!(
+            record_simulated("scenario/uniform/advised", 2.0),
+            "overwrite"
+        );
+        assert!(record_simulated("scenario/faulty/fixed EP", 0.25));
+        assert!(!record_simulated("bad", f64::NAN), "non-finite rejected");
+        assert!(!record_simulated("bad", -1.0), "negative rejected");
+        unsafe { std::env::remove_var("CUTFIT_BENCH_JSON") };
+        assert!(!record_simulated("ignored", 1.0), "no-op when unset");
+
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"), "valid array framing: {body}");
+        assert!(body.ends_with("]\n"));
+        assert!(body.contains("{\"label\":\"kept/earlier\",\"min_ns\":5"));
+        assert!(body.contains(
+            "{\"label\":\"scenario/uniform/advised\",\"min_ns\":2000000000,\
+             \"mean_ns\":2000000000,\"samples\":1}"
+        ));
+        assert!(
+            !body.contains("1500000000"),
+            "overwritten entry must not survive: {body}"
+        );
+        assert!(body.contains("{\"label\":\"scenario/faulty/fixed EP\",\"min_ns\":250000000"));
+        let reloaded = load_entries(path.to_str().unwrap());
+        assert_eq!(reloaded.len(), 3, "roundtrips through load_entries");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(json_string("plain/label"), "\"plain/label\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn load_entries_tolerates_garbage() {
+        assert!(load_entries("/nonexistent/summary.json").is_empty());
+        let dir = std::env::temp_dir().join("cutfit-bench-summary-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all\n{\"nope\":1}\n").unwrap();
+        assert!(load_entries(path.to_str().unwrap()).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,6 +1,8 @@
 //! Cluster topology and cost-model configuration, with the paper's four
 //! experimental configurations as presets.
 
+use crate::scenario::ScenarioConfig;
+
 /// Storage medium backing dataset load and shuffle spill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Storage {
@@ -137,6 +139,10 @@ pub struct ClusterConfig {
     pub usable_memory_fraction: f64,
     /// Compute cost model.
     pub cost: ComputeCostModel,
+    /// Deterministic degradation scenario (heterogeneity, stragglers, clock
+    /// drift, contention, failures + checkpointing). The default is all-off:
+    /// the idealized failure-free cluster of the paper's evaluation.
+    pub scenario: ScenarioConfig,
 }
 
 impl ClusterConfig {
@@ -153,6 +159,7 @@ impl ClusterConfig {
             executor_memory_gb: 220.0,
             usable_memory_fraction: 0.55,
             cost: ComputeCostModel::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 
@@ -195,6 +202,12 @@ impl ClusterConfig {
     /// pressure matches the full-size system).
     pub fn with_memory_scale(mut self, scale: f64) -> Self {
         self.executor_memory_gb *= scale;
+        self
+    }
+
+    /// Replaces the degradation scenario, keeping topology and costs.
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
         self
     }
 

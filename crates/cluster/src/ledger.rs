@@ -168,6 +168,20 @@ impl SuperstepLedger {
             .collect()
     }
 
+    /// Number of executors with outgoing remote traffic this superstep —
+    /// the simultaneous-sender count a contention model scales with.
+    pub fn busy_executors(&self) -> u32 {
+        if self.exec_bytes.is_empty() {
+            return 0;
+        }
+        (0..self.executors)
+            .filter(|&from| {
+                (0..self.executors)
+                    .any(|to| to != from && self.exec_bytes[self.pair_index(from, to)] > 0)
+            })
+            .count() as u32
+    }
+
     /// True when nothing was recorded this superstep.
     pub fn is_empty(&self) -> bool {
         self.total_messages() == 0
@@ -239,6 +253,21 @@ mod tests {
         assert_eq!(l.local_shuffle_bytes(), 8);
         assert_eq!(l.total_messages(), 3);
         assert_eq!(l.bytes_between(299, 0), 64);
+    }
+
+    #[test]
+    fn busy_executors_counts_remote_senders_only() {
+        let mut l = SuperstepLedger::new(4, 3);
+        assert_eq!(l.busy_executors(), 0, "empty ledger: nobody transmits");
+        l.send_exec(1, 1, 5, 500); // local traffic does not hit the wire
+        assert_eq!(l.busy_executors(), 0);
+        l.send_exec(0, 1, 1, 10);
+        l.send_exec(0, 2, 1, 20);
+        assert_eq!(l.busy_executors(), 1, "one sender, two destinations");
+        l.send_exec(2, 0, 1, 5);
+        assert_eq!(l.busy_executors(), 2);
+        l.reset();
+        assert_eq!(l.busy_executors(), 0);
     }
 
     #[test]

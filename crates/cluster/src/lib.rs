@@ -21,12 +21,19 @@
 //! * un-checkpointed iterative jobs retain shuffle lineage, so long-running
 //!   computations (SSSP on huge-diameter road networks) exhaust executor
 //!   memory — reproducing the paper's "Spark did not complete SSSP due to
-//!   out of memory errors" on the grid datasets.
+//!   out of memory errors" on the grid datasets;
+//! * a deterministic, seedable [`ScenarioConfig`] can degrade the idealized
+//!   cluster — heterogeneous executor speeds, straggler supersteps, clock
+//!   drift, network contention, and executor failures recovered via
+//!   superstep checkpointing + replay — without ever changing *what* a job
+//!   computes, only what it costs.
 
 pub mod config;
 pub mod ledger;
+pub mod scenario;
 pub mod sim;
 
 pub use config::{ClusterConfig, ComputeCostModel, Storage};
 pub use ledger::SuperstepLedger;
+pub use scenario::ScenarioConfig;
 pub use sim::{load_bytes, ClusterSim, SimError, SimReport};

@@ -71,6 +71,19 @@ pub struct SimReport {
     pub local_shuffle_bytes: u64,
     /// Peak per-executor memory demand observed, GB.
     pub peak_executor_memory_gb: f64,
+    /// Simulated seconds spent recovering from executor failures: checkpoint
+    /// restore reads plus replay of every superstep since the last
+    /// checkpoint. Zero on a failure-free run.
+    pub recovery_seconds: f64,
+    /// Extra barrier wait attributable to straggler events: the gap between
+    /// each superstep's critical path with and without its stragglers.
+    pub straggler_slack_seconds: f64,
+    /// Simulated seconds spent writing superstep checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Total bytes written to checkpoint storage.
+    pub checkpoint_bytes: u64,
+    /// Number of executor failure events absorbed (each one recovered).
+    pub executor_failures: u64,
 }
 
 /// A running simulation: owns the ledger, the clock, and memory accounting.
@@ -87,6 +100,15 @@ pub struct ClusterSim {
     resident_bytes: Vec<u64>,
     /// Bytes of retained shuffle lineage per executor.
     retained_bytes: Vec<f64>,
+    /// Effective checkpoint interval: the scenario's value unless overridden
+    /// per run (the engine's `PregelConfig::checkpoint_interval` hook).
+    checkpoint_interval: u64,
+    /// Accumulated per-executor clock offset, simulated seconds (scenario
+    /// clock drift). Scrubbed by `reset`.
+    clock_offset: Vec<f64>,
+    /// Simulated seconds of superstep work since the last checkpoint — the
+    /// replay bill a failing executor pays. Scrubbed by `reset`.
+    since_checkpoint_secs: f64,
 }
 
 impl ClusterSim {
@@ -99,6 +121,9 @@ impl ClusterSim {
             resident_bytes: vec![0; executors as usize],
             retained_bytes: vec![0.0; executors as usize],
             report: SimReport::default(),
+            checkpoint_interval: config.scenario.checkpoint_interval,
+            clock_offset: vec![0.0; executors as usize],
+            since_checkpoint_secs: 0.0,
             num_parts,
             config,
         }
@@ -116,13 +141,35 @@ impl ClusterSim {
     /// without per-job reconstruction. This also clears any residual state
     /// a previous run may have left behind: half-recorded ledger rows from
     /// a run that never reached `end_superstep` (e.g. an out-of-memory
-    /// abort), declared resident bytes, and the accumulated report.
+    /// abort), declared resident bytes, the accumulated report, and all
+    /// scenario state: drifted clocks, the since-checkpoint replay
+    /// accumulator, and any per-run checkpoint-interval override. Scenario
+    /// draws themselves are pure functions of config and seed, so nothing
+    /// else needs scrubbing — a reset sim is bit-identical to a fresh one.
     pub fn reset(&mut self) {
         self.ledger.reset();
         self.part_resident.fill(0);
         self.resident_bytes.fill(0);
         self.retained_bytes.fill(0.0);
         self.report = SimReport::default();
+        self.checkpoint_interval = self.config.scenario.checkpoint_interval;
+        self.clock_offset.fill(0.0);
+        self.since_checkpoint_secs = 0.0;
+    }
+
+    /// Overrides the scenario's checkpoint interval for the current run
+    /// (`0` = never checkpoint). The engine applies this at run start from
+    /// `PregelConfig::checkpoint_interval`; `reset` restores the config's
+    /// value. Checkpointing works on a failure-free cluster too — it bills
+    /// storage writes and truncates retained lineage, which is what rescues
+    /// high-superstep jobs from lineage OOM.
+    pub fn set_checkpoint_interval(&mut self, every: u64) {
+        self.checkpoint_interval = every;
+    }
+
+    /// The effective checkpoint interval for this run (`0` = never).
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
     }
 
     /// Charges a full re-materialization of the graph under a new cut, as
@@ -237,11 +284,21 @@ impl ClusterSim {
     }
 
     /// Closes the current superstep: converts the ledger into time, applies
-    /// memory accounting, resets the ledger. Returns the superstep's
-    /// simulated duration.
+    /// the scenario's degradations (heterogeneous speeds, stragglers, clock
+    /// skew, contention, checkpointing, failure recovery), applies memory
+    /// accounting, resets the ledger. Returns the superstep's simulated
+    /// duration. Every scenario effect is gated on its knob being nonzero,
+    /// so a zeroed [`ScenarioConfig`](crate::ScenarioConfig) takes the
+    /// identical arithmetic path as the failure-free simulator and bills
+    /// bit-for-bit the same.
     pub fn end_superstep(&mut self) -> Result<f64, SimError> {
         let cfg = &self.config;
         let cost = &cfg.cost;
+        let scen = cfg.scenario;
+        // 0-based index of the superstep being closed: scenario draws key on
+        // it, which makes the fault schedule independent of executor mode
+        // and evaluation order.
+        let step = self.report.supersteps;
 
         // --- Compute: per-partition task times, LPT-style per executor. ---
         let mut exec_work = vec![0.0f64; cfg.executors as usize];
@@ -254,15 +311,29 @@ impl ClusterSim {
             exec_work[exec] += task_ns;
             exec_max_task[exec] = exec_max_task[exec].max(task_ns);
         }
-        let compute_secs = exec_work
-            .iter()
-            .zip(&exec_max_task)
-            .map(|(&total, &max_task)| {
-                // Tasks parallelise across cores but a superstep cannot end
-                // before its longest task (stragglers).
-                (total / cfg.cores_per_executor as f64).max(max_task) * 1e-9
-            })
-            .fold(0.0f64, f64::max);
+        let mut compute_secs = 0.0f64;
+        let mut clean_critical_path = 0.0f64;
+        for exec in 0..cfg.executors as usize {
+            // Tasks parallelise across cores but a superstep cannot end
+            // before its longest task.
+            let base =
+                (exec_work[exec] / cfg.cores_per_executor as f64).max(exec_max_task[exec]) * 1e-9;
+            let paced = if scen.heterogeneity > 0.0 {
+                base * scen.speed_factor(exec as u32)
+            } else {
+                base
+            };
+            clean_critical_path = clean_critical_path.max(paced);
+            let with_straggle = if scen.straggles(step, exec as u32) {
+                paced * scen.straggler_slowdown.max(1.0)
+            } else {
+                paced
+            };
+            compute_secs = compute_secs.max(with_straggle);
+        }
+        // Straggler slack: how much of the barrier wait this superstep's
+        // straggler events alone are responsible for.
+        let straggler_slack = compute_secs - clean_critical_path;
 
         // --- Network: per-executor in/out volumes at NIC bandwidth. ---
         let out_bytes = self.ledger.out_bytes_per_exec();
@@ -279,17 +350,27 @@ impl ClusterSim {
         if self.ledger.remote_bytes() > 0 {
             network_secs += cfg.network_latency_ms * 1e-3;
         }
+        if scen.network_contention > 0.0 && network_secs > 0.0 {
+            // A shared fabric degrades with the number of simultaneous
+            // senders; a lone transmitter sees the dedicated-wire rate.
+            let busy = self.ledger.busy_executors();
+            if busy > 1 {
+                let spread = (busy - 1) as f64 / cfg.executors.saturating_sub(1).max(1) as f64;
+                network_secs *=
+                    1.0 + scen.network_contention * scen.contention_level(step) * spread;
+            }
+        }
 
         // --- Serialization: CPU-side encode/decode of shuffled bytes,
         //     parallelised over cores; unaffected by NIC speed. ---
         let shuffle_bytes = self.ledger.remote_bytes() + self.ledger.local_shuffle_bytes();
         let ser_secs = (shuffle_bytes as f64 / cfg.executors as f64) * cost.ser_ns_per_byte * 1e-9
             / cfg.cores_per_executor as f64;
-        let compute_secs = compute_secs + ser_secs;
+        compute_secs += ser_secs;
 
         // --- Storage: the synchronous share of shuffle spill (write then
         //     read); the rest rides the page cache. ---
-        let storage_secs = if cost.shuffle_through_storage && shuffle_bytes > 0 {
+        let mut storage_secs = if cost.shuffle_through_storage && shuffle_bytes > 0 {
             let per_exec =
                 shuffle_bytes as f64 * cost.shuffle_storage_fraction / cfg.executors as f64;
             per_exec / (cfg.storage.write_mbps() * 1e6) + per_exec / (cfg.storage.read_mbps() * 1e6)
@@ -297,8 +378,20 @@ impl ClusterSim {
             0.0
         };
 
-        let overhead_secs = cost.superstep_overhead_ms * 1e-3;
-        let superstep_secs = compute_secs + network_secs + storage_secs + overhead_secs;
+        let mut overhead_secs = cost.superstep_overhead_ms * 1e-3;
+        if scen.clock_drift > 0.0 && !self.clock_offset.is_empty() {
+            // Executor clocks drift apart in proportion to elapsed simulated
+            // time; the barrier cannot release until the slowest clock
+            // agrees the superstep is over, so it pays the spread.
+            let pre_barrier = compute_secs + network_secs + storage_secs + overhead_secs;
+            for exec in 0..cfg.executors as usize {
+                self.clock_offset[exec] += scen.drift_rate(exec as u32) * pre_barrier;
+            }
+            let fastest = self.clock_offset.iter().cloned().fold(f64::MIN, f64::max);
+            let slowest = self.clock_offset.iter().cloned().fold(f64::MAX, f64::min);
+            overhead_secs += fastest - slowest;
+        }
+        let mut superstep_secs = compute_secs + network_secs + storage_secs + overhead_secs;
 
         // --- Memory accounting. ---
         self.report.supersteps += 1;
@@ -329,6 +422,71 @@ impl ClusterSim {
                     capacity_gb,
                 });
             }
+        }
+
+        // --- Checkpointing: materialize state at the superstep boundary.
+        //     Billed as a parallel write of each executor's resident bytes
+        //     (critical path: the largest executor) plus serialization; a
+        //     completed checkpoint cuts the recomputation chain, releasing
+        //     retained lineage and zeroing the replay window. ---
+        self.since_checkpoint_secs += superstep_secs;
+        if self.checkpoint_interval > 0 && (step + 1) % self.checkpoint_interval == 0 {
+            let total_resident: u64 = self.resident_bytes.iter().sum();
+            let largest = self.resident_bytes.iter().copied().max().unwrap_or(0) as f64;
+            let write_secs = largest / (cfg.storage.write_mbps() * 1e6);
+            let ckpt_ser_secs =
+                largest * cost.ser_ns_per_byte * 1e-9 / cfg.cores_per_executor as f64;
+            storage_secs += write_secs;
+            compute_secs += ckpt_ser_secs;
+            superstep_secs += write_secs + ckpt_ser_secs;
+            self.report.checkpoint_seconds += write_secs + ckpt_ser_secs;
+            self.report.checkpoint_bytes += total_resident;
+            self.retained_bytes.fill(0.0);
+            self.since_checkpoint_secs = 0.0;
+        }
+
+        // --- Failures: a failed executor restores its snapshot from the
+        //     last checkpoint and replays everything since it. Execution is
+        //     deterministic, so the replay reproduces identical state —
+        //     failures change only the bill, never the results; the engine
+        //     does not re-run anything. A failure in the same superstep as
+        //     a checkpoint strikes after the write completes. ---
+        if scen.failure_prob > 0.0 || scen.forced_failure.is_some() {
+            let mut recovery_secs = 0.0f64;
+            for exec in 0..cfg.executors {
+                if !scen.fails(step, exec) {
+                    continue;
+                }
+                self.report.executor_failures += 1;
+                let snapshot = self.resident_bytes[exec as usize] as f64;
+                let restore_secs = snapshot / (cfg.storage.read_mbps() * 1e6);
+                recovery_secs += restore_secs + self.since_checkpoint_secs;
+                // The restore reads the snapshot into fresh buffers next to
+                // whatever the executor already holds — recovery can itself
+                // run out of memory (the paper's SSSP death spiral).
+                let demand_gb = (snapshot * cost.memory_overhead_factor
+                    + self.retained_bytes[exec as usize]
+                    + shuffle_per_exec
+                    + snapshot)
+                    / 1e9;
+                self.report.peak_executor_memory_gb =
+                    self.report.peak_executor_memory_gb.max(demand_gb);
+                if demand_gb > capacity_gb && oom.is_none() {
+                    oom = Some(SimError::OutOfMemory {
+                        executor: exec,
+                        superstep: self.report.supersteps,
+                        required_gb: demand_gb,
+                        capacity_gb,
+                    });
+                }
+            }
+            if recovery_secs > 0.0 {
+                self.report.recovery_seconds += recovery_secs;
+                superstep_secs += recovery_secs;
+            }
+        }
+        if straggler_slack > 0.0 {
+            self.report.straggler_slack_seconds += straggler_slack;
         }
 
         self.report.compute_seconds += compute_secs;
@@ -665,6 +823,283 @@ mod tests {
         let secs = solo.charge_repartition(1_000).unwrap();
         assert_eq!(solo.report().remote_bytes, 0, "single executor: all local");
         assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn zeroed_scenario_is_bit_identical_regardless_of_seed() {
+        // The backward-compat pin at the unit level: an all-off scenario
+        // must not perturb a single bit of the bill, whatever its seed.
+        let charge = |scenario: crate::ScenarioConfig| {
+            let mut cfg = small_cluster();
+            cfg.scenario = scenario;
+            let mut sim = ClusterSim::new(cfg, 8);
+            sim.charge_load(5_000_000);
+            sim.set_resident(0, 2_000_000);
+            sim.ledger().send_exec(0, 1, 50, 125_000);
+            sim.ledger().edge_scans(1, 9_999);
+            sim.end_superstep().unwrap();
+            sim.charge_repartition(100_000).unwrap();
+            sim.into_report()
+        };
+        let baseline = charge(crate::ScenarioConfig::default());
+        let seeded = charge(crate::ScenarioConfig {
+            seed: 0x1234_5678_9ABC_DEF0,
+            ..Default::default()
+        });
+        assert_eq!(baseline, seeded);
+        assert_eq!(baseline.recovery_seconds, 0.0);
+        assert_eq!(baseline.straggler_slack_seconds, 0.0);
+        assert_eq!(baseline.checkpoint_bytes, 0);
+        assert_eq!(baseline.executor_failures, 0);
+    }
+
+    fn scenario_cluster(scenario: crate::ScenarioConfig) -> ClusterConfig {
+        ClusterConfig {
+            scenario,
+            ..small_cluster()
+        }
+    }
+
+    #[test]
+    fn heterogeneity_slows_the_critical_path() {
+        let mut fair = ClusterSim::new(small_cluster(), 8);
+        let mut mixed =
+            ClusterSim::new(scenario_cluster(crate::ScenarioConfig::heterogeneous(3)), 8);
+        for sim in [&mut fair, &mut mixed] {
+            sim.ledger().edge_scans(0, 1_000_000);
+            sim.ledger().edge_scans(1, 1_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert!(
+            mixed.report().compute_seconds > fair.report().compute_seconds,
+            "some executor must be slower than the uniform baseline"
+        );
+    }
+
+    #[test]
+    fn stragglers_bill_slack_without_changing_metered_work() {
+        let scen = crate::ScenarioConfig {
+            seed: 5,
+            straggler_prob: 1.0, // every (step, exec) cell straggles
+            straggler_slowdown: 10.0,
+            ..Default::default()
+        };
+        let mut base = ClusterSim::new(small_cluster(), 8);
+        let mut slow = ClusterSim::new(scenario_cluster(scen), 8);
+        for sim in [&mut base, &mut slow] {
+            sim.ledger().edge_scans(0, 1_000_000);
+            sim.end_superstep().unwrap();
+        }
+        let clean = base.report().compute_seconds;
+        let r = slow.report();
+        assert!((r.compute_seconds - 10.0 * clean).abs() < 1e-12);
+        assert!((r.straggler_slack_seconds - 9.0 * clean).abs() < 1e-12);
+        assert_eq!(r.messages, base.report().messages);
+        assert_eq!(r.remote_bytes, base.report().remote_bytes);
+    }
+
+    #[test]
+    fn contention_inflates_wire_time_only_with_concurrent_senders() {
+        let scen = crate::ScenarioConfig {
+            seed: 7,
+            network_contention: 1.0,
+            ..Default::default()
+        };
+        // One sender: dedicated-wire rate, identical to the baseline.
+        let mut solo_base = ClusterSim::new(small_cluster(), 8);
+        let mut solo_scen = ClusterSim::new(scenario_cluster(scen), 8);
+        for sim in [&mut solo_base, &mut solo_scen] {
+            sim.ledger().send_exec(0, 1, 10, 10_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert_eq!(
+            solo_base.report().network_seconds,
+            solo_scen.report().network_seconds
+        );
+        // Two senders: the shared fabric costs extra.
+        let mut duo_base = ClusterSim::new(small_cluster(), 8);
+        let mut duo_scen = ClusterSim::new(scenario_cluster(scen), 8);
+        for sim in [&mut duo_base, &mut duo_scen] {
+            sim.ledger().send_exec(0, 1, 10, 10_000_000);
+            sim.ledger().send_exec(1, 0, 10, 10_000_000);
+            sim.end_superstep().unwrap();
+        }
+        assert!(duo_scen.report().network_seconds > duo_base.report().network_seconds);
+    }
+
+    #[test]
+    fn clock_drift_accrues_skew_into_overhead() {
+        let scen = crate::ScenarioConfig {
+            seed: 11,
+            clock_drift: 0.01,
+            ..Default::default()
+        };
+        let mut base = ClusterSim::new(small_cluster(), 8);
+        let mut drifty = ClusterSim::new(scenario_cluster(scen), 8);
+        for _ in 0..10 {
+            base.end_superstep().unwrap();
+            drifty.end_superstep().unwrap();
+        }
+        assert!(drifty.report().overhead_seconds > base.report().overhead_seconds);
+        // Drift compounds: later supersteps pay a wider spread. Compare the
+        // first and second halves of the run.
+        let mut early = ClusterSim::new(scenario_cluster(scen), 8);
+        for _ in 0..5 {
+            early.end_superstep().unwrap();
+        }
+        let first_half = early.report().overhead_seconds;
+        let second_half = drifty.report().overhead_seconds - first_half;
+        assert!(second_half > first_half, "skew grows with elapsed time");
+    }
+
+    #[test]
+    fn checkpoints_bill_storage_and_truncate_lineage() {
+        // The lineage-OOM workload from `lineage_retention_triggers_oom`
+        // survives indefinitely once checkpoints truncate retained state —
+        // the `checkpointInterval` rescue for high-superstep jobs.
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 0.004;
+        cfg.scenario.checkpoint_interval = 2;
+        let mut sim = ClusterSim::new(cfg, 8);
+        for _ in 0..100 {
+            sim.ledger().send_exec(0, 1, 10, 100_000);
+            sim.end_superstep()
+                .expect("checkpointing must bound lineage growth");
+        }
+        assert_eq!(sim.report().supersteps, 100);
+        assert!(sim.report().checkpoint_seconds > 0.0 || sim.report().checkpoint_bytes == 0);
+        // With resident state declared, checkpoints cost bytes and time.
+        let mut cfg = small_cluster();
+        cfg.scenario.checkpoint_interval = 2;
+        let mut sim = ClusterSim::new(cfg, 8);
+        sim.set_resident(0, 50_000_000);
+        for _ in 0..4 {
+            sim.end_superstep().unwrap();
+        }
+        assert_eq!(
+            sim.report().checkpoint_bytes,
+            100_000_000,
+            "two checkpoints"
+        );
+        assert!(sim.report().checkpoint_seconds > 0.0);
+        assert!(sim.report().storage_seconds > 0.0);
+    }
+
+    #[test]
+    fn forced_failure_bills_restore_plus_replay() {
+        let scen = crate::ScenarioConfig {
+            forced_failure: Some((1, 0)),
+            ..Default::default()
+        };
+        let mut base = ClusterSim::new(small_cluster(), 8);
+        let mut faulty = ClusterSim::new(scenario_cluster(scen), 8);
+        for sim in [&mut base, &mut faulty] {
+            sim.set_resident(0, 10_000_000);
+            sim.ledger().edge_scans(0, 100_000);
+            sim.end_superstep().unwrap();
+            sim.ledger().edge_scans(0, 100_000);
+            sim.end_superstep().unwrap();
+        }
+        let clean = base.report();
+        let r = faulty.report();
+        assert_eq!(r.executor_failures, 1);
+        // Replay covers both supersteps (no checkpoint) plus the restore
+        // read of the 10 MB snapshot.
+        let restore = 10_000_000.0 / (small_cluster().storage.read_mbps() * 1e6);
+        let expected = clean.total_seconds + restore;
+        assert!(
+            (r.recovery_seconds - expected).abs() < 1e-9,
+            "recovery {} vs expected {}",
+            r.recovery_seconds,
+            expected
+        );
+        assert!((r.total_seconds - (clean.total_seconds + r.recovery_seconds)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoints_bound_the_replay_window() {
+        let mk = |interval: u64| {
+            let scen = crate::ScenarioConfig {
+                forced_failure: Some((5, 0)),
+                checkpoint_interval: interval,
+                ..Default::default()
+            };
+            let mut sim = ClusterSim::new(scenario_cluster(scen), 8);
+            for _ in 0..6 {
+                sim.ledger().edge_scans(0, 1_000_000);
+                sim.end_superstep().unwrap();
+            }
+            sim.report().recovery_seconds
+        };
+        let unbounded = mk(0);
+        let bounded = mk(2);
+        assert!(
+            bounded < unbounded / 2.0,
+            "checkpoint every 2 steps must shrink replay: {bounded} vs {unbounded}"
+        );
+    }
+
+    #[test]
+    fn recovery_oom_is_an_error_and_resettable() {
+        // Capacity fits live data (overhead 1×) but not live data plus the
+        // restore buffer: the failure itself is what kills the executor.
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 1.0;
+        cfg.usable_memory_fraction = 1.0;
+        cfg.cost.memory_overhead_factor = 1.0;
+        cfg.scenario.forced_failure = Some((0, 0));
+        let mut sim = ClusterSim::new(cfg, 8);
+        sim.set_resident(0, 700_000_000); // 0.7 GB live, 1.4 GB during restore
+        let err = sim.end_superstep().expect_err("restore buffer must OOM");
+        let SimError::OutOfMemory { executor, .. } = err;
+        assert_eq!(executor, 0);
+        assert!(
+            sim.report().recovery_seconds > 0.0,
+            "the attempted recovery is still billed"
+        );
+        // Without the failure the same footprint fits.
+        let mut cfg = small_cluster();
+        cfg.executor_memory_gb = 1.0;
+        cfg.usable_memory_fraction = 1.0;
+        cfg.cost.memory_overhead_factor = 1.0;
+        let mut ok = ClusterSim::new(cfg, 8);
+        ok.set_resident(0, 700_000_000);
+        ok.end_superstep().expect("fits when nobody dies");
+        // And the aborted sim resets to a bit-identical fresh state.
+        sim.reset();
+        assert_eq!(sim.report(), &SimReport::default());
+        sim.end_superstep()
+            .expect("reset scrubs the pending fault state");
+    }
+
+    #[test]
+    fn reset_scrubs_scenario_state() {
+        let scen = crate::ScenarioConfig {
+            seed: 21,
+            clock_drift: 0.02,
+            failure_prob: 0.3,
+            checkpoint_interval: 3,
+            ..Default::default()
+        };
+        let charge = |sim: &mut ClusterSim| {
+            sim.set_resident(1, 4_000_000);
+            for _ in 0..7 {
+                sim.ledger().send_exec(0, 1, 10, 50_000);
+                sim.end_superstep().unwrap();
+            }
+            sim.report().clone()
+        };
+        let mut reused = ClusterSim::new(scenario_cluster(scen), 8);
+        let first = charge(&mut reused);
+        reused.set_checkpoint_interval(1); // per-run override must not survive reset
+        reused.reset();
+        let second = charge(&mut reused);
+        let fresh = charge(&mut ClusterSim::new(scenario_cluster(scen), 8));
+        assert_eq!(first, fresh);
+        assert_eq!(
+            second, fresh,
+            "drifted clocks, replay window, and interval override must reset"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod prelude {
     pub use cutfit_algorithms::{
         connected_components, pagerank, sssp, triangle_count, Algorithm, AlgorithmClass,
     };
-    pub use cutfit_cluster::{ClusterConfig, ClusterSim, SimError, SimReport, Storage};
+    pub use cutfit_cluster::{
+        ClusterConfig, ClusterSim, ScenarioConfig, SimError, SimReport, Storage,
+    };
     pub use cutfit_datagen::{DatasetProfile, ProfileKind};
     pub use cutfit_engine::{
         run_pregel, ExecutorMode, Messages, PregelConfig, PreparedRun, Triplet, VertexProgram,

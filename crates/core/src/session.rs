@@ -238,6 +238,45 @@ impl WorkloadReport {
         self.jobs.iter().filter(|j| j.switched_cut).count()
     }
 
+    /// Simulated seconds the workload's jobs spent recovering from executor
+    /// failures (restore + replay), summed over successful jobs. Recovery
+    /// during provisioning is billed on the session sim instead — see
+    /// [`Workspace::session_report`].
+    pub fn recovery_seconds(&self) -> f64 {
+        self.sim_sum(|r| r.recovery_seconds)
+    }
+
+    /// Straggler-induced barrier slack summed over successful jobs.
+    pub fn straggler_slack_seconds(&self) -> f64 {
+        self.sim_sum(|r| r.straggler_slack_seconds)
+    }
+
+    /// Bytes written to checkpoint storage, summed over successful jobs.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().ok())
+            .map(|r| r.checkpoint_bytes)
+            .sum()
+    }
+
+    /// Executor failure events absorbed across successful jobs.
+    pub fn executor_failures(&self) -> u64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().ok())
+            .map(|r| r.executor_failures)
+            .sum()
+    }
+
+    fn sim_sum(&self, f: impl Fn(&SimReport) -> f64) -> f64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().ok())
+            .map(f)
+            .sum()
+    }
+
     /// Renders the per-job table.
     pub fn render(&self) -> String {
         let mut t = AsciiTable::new([
@@ -404,6 +443,25 @@ impl Workspace {
     /// Selects how advised cuts rank their candidates.
     pub fn with_advice_mode(mut self, mode: AdviceMode) -> Self {
         self.advice_mode = mode;
+        self
+    }
+
+    /// Replaces the cluster's degradation scenario (heterogeneity,
+    /// stragglers, drift, contention, failures + checkpointing). Every job
+    /// and every session-level charge from here on is billed under the
+    /// scenario; results stay bit-identical, only costs change.
+    ///
+    /// # Panics
+    /// Construction-time builder: panics if the session has already loaded
+    /// the graph or materialized a cut (their `PreparedRun` sims would keep
+    /// billing under the old scenario).
+    pub fn with_scenario(mut self, scenario: cutfit_cluster::ScenarioConfig) -> Self {
+        assert!(
+            !self.loaded && self.cuts.is_empty(),
+            "with_scenario must be applied before any job is served"
+        );
+        self.cluster.scenario = scenario;
+        self.session = ClusterSim::new(self.cluster.clone(), self.cluster.executors);
         self
     }
 
@@ -605,10 +663,26 @@ impl Workspace {
         }
     }
 
+    /// Orders jobs so that jobs sharing a [`Workspace::resolve`]d cut run
+    /// back to back (stable: submission order within a group, raw cuts
+    /// before canonical) — the scheduling the serving layer enables, and
+    /// the one that minimizes repartition charges for every policy alike.
+    /// Advisor sweeps triggered by resolution are memoized, so scheduling
+    /// costs nothing the subsequent dispatches would not pay anyway.
+    pub fn schedule(&mut self, jobs: &[Job]) -> Vec<Job> {
+        let mut keyed: Vec<(CutKey, Job)> = jobs
+            .iter()
+            .map(|j| (self.resolve(&j.algorithm, &j.cut), j.clone()))
+            .collect();
+        keyed.sort_by_key(|(k, _)| (k.canonical, k.num_parts, k.strategy.abbrev()));
+        keyed.into_iter().map(|(_, j)| j).collect()
+    }
+
     /// Serves a whole workload in submission order, tailoring each job's
     /// cut per its policy. Failed jobs are recorded, not fatal — the
-    /// session keeps serving. Group jobs by [`Workspace::resolve`]d cut to
-    /// minimize repartition charges.
+    /// session keeps serving. Group jobs by [`Workspace::schedule`] (or
+    /// manually by [`Workspace::resolve`]d cut) to minimize repartition
+    /// charges.
     pub fn run_workload(&mut self, jobs: &[Job]) -> WorkloadReport {
         WorkloadReport {
             jobs: jobs
@@ -926,6 +1000,94 @@ mod tests {
         assert!(total > 0.0);
         let rendered = report.render();
         assert!(rendered.contains("PR") && rendered.contains("TR"));
+    }
+
+    #[test]
+    fn schedule_groups_jobs_by_resolved_cut() {
+        let mut ws = ws(ExecutorMode::Sequential);
+        let pr = Algorithm::PageRank { iterations: 2 };
+        let jobs = [
+            Job::fixed(pr.clone(), GraphXStrategy::SourceCut, 8),
+            Job::fixed(Algorithm::Triangles, GraphXStrategy::SourceCut, 8),
+            Job::fixed(pr.clone(), GraphXStrategy::DestinationCut, 8),
+            Job::fixed(pr.clone(), GraphXStrategy::SourceCut, 8),
+        ];
+        let ordered = ws.schedule(&jobs);
+        let keys: Vec<CutKey> = ordered
+            .iter()
+            .map(|j| ws.resolve(&j.algorithm, &j.cut))
+            .collect();
+        // Same-cut jobs are adjacent and canonical cuts sort last.
+        let source = CutKey {
+            strategy: GraphXStrategy::SourceCut,
+            num_parts: 8,
+            canonical: false,
+        };
+        let adjacent = keys.windows(2).any(|w| w[0] == source && w[1] == source);
+        assert!(adjacent, "the two SourceCut PR jobs run together: {keys:?}");
+        assert!(keys[3].canonical, "TR's canonical cut is scheduled last");
+        // Serving the schedule needs one switch per distinct cut.
+        let report = ws.run_workload(&ordered);
+        assert_eq!(report.cut_switches(), 3);
+        assert_eq!(report.failures(), 0);
+    }
+
+    #[test]
+    fn scenario_session_changes_bills_not_results() {
+        use cutfit_cluster::ScenarioConfig;
+        let pr = Algorithm::PageRank { iterations: 3 };
+        let jobs = [
+            Job::fixed(pr.clone(), GraphXStrategy::SourceCut, 8),
+            Job::fixed(pr.clone(), GraphXStrategy::DestinationCut, 8),
+        ];
+        let mut clean = ws(ExecutorMode::Sequential);
+        let mut messy = ws(ExecutorMode::Sequential).with_scenario(ScenarioConfig::messy(31));
+        let rc = clean.run_workload(&jobs);
+        let rm = messy.run_workload(&jobs);
+        assert_eq!(rc.failures(), 0);
+        assert_eq!(rm.failures(), 0);
+        for (a, b) in rc.jobs.iter().zip(&rm.jobs) {
+            assert_eq!(a.supersteps, b.supersteps);
+            assert_eq!(a.metrics, b.metrics);
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(ra.messages, rb.messages, "metered work is untouched");
+            assert_eq!(ra.remote_bytes, rb.remote_bytes);
+        }
+        assert!(rm.total_seconds() > rc.total_seconds());
+        // And the degraded session is itself deterministic.
+        let mut again = ws(ExecutorMode::Sequential).with_scenario(ScenarioConfig::messy(31));
+        let ra = again.run_workload(&jobs);
+        for (a, b) in rm.jobs.iter().zip(&ra.jobs) {
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.provisioning_seconds, b.provisioning_seconds);
+        }
+        assert_eq!(messy.session_report(), again.session_report());
+    }
+
+    #[test]
+    fn workload_report_surfaces_recovery_and_checkpoints() {
+        use cutfit_cluster::ScenarioConfig;
+        // Fail every (superstep, executor) cell: recovery is guaranteed.
+        let scen = ScenarioConfig {
+            seed: 3,
+            failure_prob: 1.0,
+            checkpoint_interval: 2,
+            ..Default::default()
+        };
+        let mut ws = ws(ExecutorMode::Sequential).with_scenario(scen);
+        let report = ws.run_workload(&[Job::fixed(
+            Algorithm::PageRank { iterations: 3 },
+            GraphXStrategy::SourceCut,
+            8,
+        )]);
+        assert_eq!(report.failures(), 0, "failures recover; jobs still finish");
+        assert!(report.recovery_seconds() > 0.0);
+        assert!(report.executor_failures() > 0);
+        assert!(report.checkpoint_bytes() > 0);
+        assert!(report.job_seconds() > report.recovery_seconds());
+        // Provisioning (the session's repartition superstep) recovers too,
+        // billed on the session sim.
+        assert!(ws.session_report().recovery_seconds > 0.0);
     }
 
     #[test]

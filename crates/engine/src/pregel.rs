@@ -75,6 +75,14 @@ pub struct PregelConfig {
     pub executor: ExecutorMode,
     /// Whether to charge the initial dataset load from storage.
     pub charge_initial_load: bool,
+    /// Per-run override of the cluster scenario's checkpoint interval:
+    /// `Some(n)` checkpoints every `n` supersteps (`Some(0)` disables),
+    /// `None` defers to `ClusterConfig::scenario.checkpoint_interval`.
+    /// Checkpoints are billed at superstep boundaries and truncate retained
+    /// shuffle lineage — the `checkpointInterval` knob that keeps
+    /// high-superstep jobs (the paper's SSSP) from lineage OOM, at a
+    /// storage-write cost per checkpoint.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for PregelConfig {
@@ -83,6 +91,7 @@ impl Default for PregelConfig {
             max_iterations: 100,
             executor: ExecutorMode::Sequential,
             charge_initial_load: true,
+            checkpoint_interval: None,
         }
     }
 }
@@ -616,6 +625,9 @@ fn execute<P: VertexProgram>(
     let executors = sim.config().executors as usize;
     debug_assert_eq!(executors, buffers.deltas[0].executors);
 
+    if let Some(every) = opts.checkpoint_interval {
+        sim.set_checkpoint_interval(every);
+    }
     if opts.charge_initial_load {
         sim.charge_load(cutfit_cluster::load_bytes(
             pg.num_vertices(),
@@ -1468,5 +1480,84 @@ mod tests {
         assert_eq!(ExecutorMode::Parallel { threads: 0 }.threads(), 1);
         assert_eq!(ExecutorMode::Parallel { threads: 6 }.threads(), 6);
         assert!(ExecutorMode::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn scenario_faults_change_only_the_bill_never_the_states() {
+        use cutfit_cluster::ScenarioConfig;
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 9);
+        let pg = GraphXStrategy::EdgePartition2D.partition(&g, 16);
+        let clean = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let messy_cfg = cfg().with_scenario(ScenarioConfig::messy(77));
+        let messy = run_pregel(&MaxLabel, &pg, &messy_cfg, &PregelConfig::default()).unwrap();
+        assert_eq!(clean.states, messy.states);
+        assert_eq!(clean.supersteps, messy.supersteps);
+        assert_eq!(clean.sim.messages, messy.sim.messages);
+        assert_eq!(clean.sim.remote_bytes, messy.sim.remote_bytes);
+        assert!(messy.sim.total_seconds > clean.sim.total_seconds);
+    }
+
+    #[test]
+    fn scenario_runs_are_mode_invariant_and_repeatable() {
+        use cutfit_cluster::ScenarioConfig;
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 9);
+        let pg = GraphXStrategy::RandomVertexCut.partition(&g, 16);
+        let cluster = cfg().with_scenario(ScenarioConfig::messy(13));
+        let seq = run_pregel(&MaxLabel, &pg, &cluster, &PregelConfig::default()).unwrap();
+        for mode in [
+            ExecutorMode::Sequential,
+            ExecutorMode::Parallel { threads: 4 },
+            ExecutorMode::Auto,
+        ] {
+            let opts = PregelConfig {
+                executor: mode,
+                ..Default::default()
+            };
+            let r = run_pregel(&MaxLabel, &pg, &cluster, &opts).unwrap();
+            assert_eq!(r.states, seq.states, "{mode:?}");
+            assert_eq!(r.sim, seq.sim, "fault schedule must be mode-invariant");
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_override_bills_checkpoints_on_any_cluster() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 9);
+        let pg = GraphXStrategy::RandomVertexCut.partition(&g, 8);
+        let plain = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let opts = PregelConfig {
+            checkpoint_interval: Some(2),
+            ..Default::default()
+        };
+        let ckpt = run_pregel(&MaxLabel, &pg, &cfg(), &opts).unwrap();
+        assert_eq!(plain.states, ckpt.states);
+        assert_eq!(plain.sim.checkpoint_bytes, 0);
+        assert!(
+            ckpt.sim.checkpoint_bytes > 0,
+            "resident state is snapshotted"
+        );
+        assert!(ckpt.sim.checkpoint_seconds > 0.0);
+        assert!(ckpt.sim.total_seconds > plain.sim.total_seconds);
+    }
+
+    #[test]
+    fn prepared_run_does_not_leak_checkpoint_override_across_dispatches() {
+        let g = cutfit_datagen::rmat(&cutfit_datagen::RmatConfig::default(), 8);
+        let pg = Arc::new(GraphXStrategy::RandomVertexCut.partition(&g, 8));
+        let plain = run_pregel(&MaxLabel, &pg, &cfg(), &PregelConfig::default()).unwrap();
+        let mut prepared = PreparedRun::new(pg, &cfg(), ExecutorMode::Sequential);
+        let with_ckpt = prepared
+            .run(
+                &MaxLabel,
+                &PregelConfig {
+                    checkpoint_interval: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(with_ckpt.sim.checkpoint_bytes > 0);
+        // The next dispatch without the override is bit-identical to fresh.
+        let after = prepared.run(&MaxLabel, &PregelConfig::default()).unwrap();
+        assert_eq!(after.sim, plain.sim);
+        assert_eq!(after.states, plain.states);
     }
 }

@@ -141,6 +141,80 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `ClusterSim::reset` scrubs *all* scenario state — pending fault
+    /// draws, drifted clocks, the checkpoint ledger and replay window — so
+    /// a reset sim bills bit-identically to a freshly constructed one,
+    /// including after a mid-recovery `SimError` abort.
+    #[test]
+    fn reset_scrubs_scenario_state_bit_identically(
+        seed in 0u64..u64::MAX,
+        drift_mils in 0u64..30,
+        fail_pct in 0u64..40,
+        ckpt in 0u64..4,
+    ) {
+        let scenario = ScenarioConfig {
+            seed,
+            heterogeneity: 0.5,
+            clock_drift: drift_mils as f64 / 1000.0,
+            failure_prob: fail_pct as f64 / 100.0,
+            checkpoint_interval: ckpt,
+            ..Default::default()
+        };
+        let cfg = cluster().with_scenario(scenario);
+        // A fixed serving-shaped charge pattern: resident state, remote
+        // traffic, edge scans, six supersteps.
+        let charge = |sim: &mut ClusterSim| -> Result<f64, SimError> {
+            let mut total = 0.0;
+            for p in 0..8u32 {
+                sim.set_resident(p, 2_000_000 + u64::from(p) * 100_000);
+            }
+            for _ in 0..6 {
+                sim.ledger().send_exec(0, 1, 10, 50_000);
+                sim.ledger().send_exec(2, 3, 4, 20_000);
+                sim.ledger().edge_scans(0, 1_000);
+                total += sim.end_superstep()?;
+            }
+            Ok(total)
+        };
+        let mut fresh = ClusterSim::new(cfg.clone(), 8);
+        let expected = charge(&mut fresh).unwrap();
+        let expected_report = fresh.report().clone();
+
+        let mut reused = ClusterSim::new(cfg.clone(), 8);
+        charge(&mut reused).unwrap();
+        reused.reset();
+        prop_assert_eq!(reused.report(), &SimReport::default());
+        let replay = charge(&mut reused).unwrap();
+        prop_assert_eq!(replay, expected, "reset sim must re-bill exactly");
+        prop_assert_eq!(reused.report(), &expected_report);
+
+        // Mid-recovery abort: a forced failure whose restore buffer blows
+        // the heap aborts with `SimError`, and reset still yields a sim
+        // bit-identical to fresh under the same (tight) config.
+        let mut tight = cfg;
+        tight.executor_memory_gb = 1.0;
+        tight.usable_memory_fraction = 1.0;
+        tight.cost.memory_overhead_factor = 1.0;
+        tight.scenario.forced_failure = Some((0, 0));
+        let mut aborted = ClusterSim::new(tight.clone(), 8);
+        aborted.set_resident(0, 700_000_000);
+        prop_assert!(
+            aborted.end_superstep().is_err(),
+            "restore must overflow the tight heap"
+        );
+        aborted.reset();
+        prop_assert_eq!(aborted.report(), &SimReport::default());
+        let mut fresh_tight = ClusterSim::new(tight, 8);
+        let a = charge(&mut aborted).unwrap();
+        let b = charge(&mut fresh_tight).unwrap();
+        prop_assert_eq!(a, b, "post-abort reset must re-bill like fresh");
+        prop_assert_eq!(aborted.report(), fresh_tight.report());
+    }
+}
+
 /// The experiment grid through the workspace must reproduce the cell-by-
 /// cell observations of standalone `Algorithm::run` calls (the pre-session
 /// one-shot harness), including across executor modes.
