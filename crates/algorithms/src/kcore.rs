@@ -20,7 +20,7 @@ use cutfit_engine::{
     run_pregel, InitCtx, Messages, PregelConfig, PregelResult, Triplet, VertexProgram,
 };
 use cutfit_graph::types::PartId;
-use cutfit_graph::{Csr, Graph, VertexId};
+use cutfit_graph::{Csr, Graph, Neighbors, VertexId};
 use cutfit_partition::Partitioner;
 
 use crate::triangles::canonicalize;
@@ -127,8 +127,14 @@ pub fn kcore(
 /// degrees. O(V² + E) — a test oracle, not a production path.
 pub fn reference_kcore(graph: &Graph) -> Vec<u32> {
     let canon = canonicalize(graph);
-    let und = Csr::undirected_simple_of(&canon);
-    let n = canon.num_vertices() as usize;
+    reference_kcore_adj(&Csr::undirected_simple_of(&canon))
+}
+
+/// The peeling oracle on a prebuilt undirected simple adjacency — generic
+/// over [`Neighbors`], so the flat and compressed CSR run the exact same
+/// decomposition.
+pub fn reference_kcore_adj<N: Neighbors>(und: &N) -> Vec<u32> {
+    let n = und.num_vertices() as usize;
     let mut degree: Vec<u32> = (0..n as u64).map(|v| und.degree(v) as u32).collect();
     let mut coreness = vec![0u32; n];
     let mut removed = vec![false; n];
@@ -141,7 +147,7 @@ pub fn reference_kcore(graph: &Graph) -> Vec<u32> {
         core_so_far = core_so_far.max(degree[v]);
         coreness[v] = core_so_far;
         removed[v] = true;
-        for &w in und.neighbors(v as u64) {
+        for w in und.neighbors_iter(v as u64) {
             if !removed[w as usize] && degree[w as usize] > 0 {
                 degree[w as usize] -= 1;
             }
@@ -217,6 +223,22 @@ mod tests {
         for strategy in [GraphXStrategy::EdgePartition2D, GraphXStrategy::SourceCut] {
             assert_eq!(run(&g, strategy, 8), reference, "{strategy}");
         }
+    }
+
+    #[test]
+    fn peeling_oracle_is_representation_invariant() {
+        let g = cutfit_datagen::rmat(
+            &cutfit_datagen::RmatConfig {
+                scale: 6,
+                edges: 512,
+                ..Default::default()
+            },
+            9,
+        );
+        let canon = canonicalize(&g);
+        let flat = Csr::undirected_simple_of(&canon);
+        let zip = cutfit_graph::CompressedCsr::undirected_simple_of(&canon);
+        assert_eq!(reference_kcore_adj(&flat), reference_kcore_adj(&zip));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Ingestion-throughput microbench for the out-of-core graph layer: the
+//! same RMAT graph pulled in through every storage path the repo supports —
+//! text edge list, the delta+varint binary container, and the chunked
+//! [`GraphSource`](cutfit_core::graph::GraphSource) stream that never
+//! materializes the edge list — plus the adjacency side (flat
+//! [`Csr`](cutfit_core::graph::Csr) vs
+//! [`CompressedCsr`](cutfit_core::graph::CompressedCsr)) at build and scan
+//! time.
+//!
+//! Beyond the timed groups, the bench asserts and records the
+//! bounded-memory acceptance counter: peak resident edge bytes of a
+//! binary-backed streaming metrics sweep vs the resident path, which must
+//! show at least a 4× reduction at the default RMAT scale 16. The counters
+//! (and the bytes-per-edge footprint of each format) land in the
+//! `CUTFIT_BENCH_JSON` summary alongside the timing entries.
+
+use std::io::BufReader;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutfit_bench::summary::record_count;
+use cutfit_core::graph::io::{read_edge_list, write_edge_list};
+use cutfit_core::graph::{binfmt, BinaryFileSource, CompressedCsr, Csr, Neighbors};
+use cutfit_core::partition::{sweep_metrics, sweep_metrics_source};
+use cutfit_core::prelude::*;
+
+/// Streaming chunk size *and* container block size used throughout: small
+/// enough that the bounded-memory counter shows a wide margin over the 4×
+/// acceptance bar at scale 16, large enough to amortize per-chunk work.
+const CHUNK_EDGES: usize = 1 << 14;
+
+fn rmat_scale() -> u32 {
+    std::env::var("CUTFIT_BENCH_RMAT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn workload(scale: u32) -> Graph {
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    cutfit_core::datagen::rmat(&config, 42)
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cutfit-ingest-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Edge ingestion rate (edges/sec) per storage path: text parse, binary
+/// decode, and the chunked stream that keeps O(chunk) edges resident.
+fn bench_ingest_paths(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let graph = workload(scale);
+    let dir = scratch_dir();
+    let text_path = dir.join("graph.txt");
+    let bin_path = dir.join("graph.cfb");
+    write_formats(&graph, &text_path, &bin_path);
+
+    let mut group = c.benchmark_group(format!("ingest_throughput/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("text/read"),
+        &text_path,
+        |b, path| {
+            b.iter(|| {
+                read_edge_list(BufReader::new(std::fs::File::open(path).unwrap()))
+                    .expect("well-formed text")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("binary/read"),
+        &bin_path,
+        |b, path| b.iter(|| binfmt::read_binary_file(path).expect("well-formed container")),
+    );
+    // The out-of-core path: stream the container through every candidate
+    // strategy's metrics accumulator without ever holding the edge list.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("binary/stream-sweep"),
+        &bin_path,
+        |b, path| {
+            b.iter(|| {
+                let source = BinaryFileSource::open(path).unwrap();
+                sweep_metrics_source(&source, &GraphXStrategy::all(), 16, CHUNK_EDGES, 1)
+                    .expect("streams cleanly")
+            })
+        },
+    );
+    // Baseline the stream against the same sweep on the resident edge list.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("resident/sweep"),
+        &graph,
+        |b, g| b.iter(|| sweep_metrics(g, &GraphXStrategy::all(), 16, 1)),
+    );
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn write_formats(graph: &Graph, text_path: &std::path::Path, bin_path: &std::path::Path) {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(text_path).unwrap());
+    write_edge_list(graph, &mut w).unwrap();
+    w.flush().unwrap();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(bin_path).unwrap());
+    binfmt::write_binary_with(graph, &mut w, CHUNK_EDGES as u32).unwrap();
+    w.flush().unwrap();
+}
+
+/// Adjacency build and full neighbor-scan rates, flat vs compressed CSR.
+fn bench_adjacency(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let graph = workload(scale);
+    let csr = Csr::out_of(&graph);
+    let ccsr = CompressedCsr::out_of(&graph);
+
+    let mut group = c.benchmark_group(format!("adjacency/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(csr.num_entries()));
+    group.bench_with_input(BenchmarkId::from_parameter("csr/build"), &graph, |b, g| {
+        b.iter(|| Csr::out_of(g))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("ccsr/build"), &graph, |b, g| {
+        b.iter(|| CompressedCsr::out_of(g))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr/scan"), &csr, |b, csr| {
+        b.iter(|| neighbor_checksum(csr))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("ccsr/scan"),
+        &ccsr,
+        |b, ccsr| b.iter(|| neighbor_checksum(ccsr)),
+    );
+    group.finish();
+    assert_eq!(
+        neighbor_checksum(&csr),
+        neighbor_checksum(&ccsr),
+        "representations must agree on the adjacency"
+    );
+}
+
+fn neighbor_checksum<N: Neighbors>(adj: &N) -> u64 {
+    let mut sum = 0u64;
+    for v in 0..adj.num_vertices() {
+        for n in adj.neighbors_iter(v) {
+            sum = sum.wrapping_mul(31).wrapping_add(n);
+        }
+    }
+    sum
+}
+
+/// The acceptance counters: bytes-per-edge of every format, and the peak
+/// resident edge memory of the streamed sweep vs the resident path (≥4×
+/// smaller at the default scale, asserted here so CI trips on regressions).
+///
+/// Registered as the **last** bench group: both the criterion shim and
+/// [`record_count`] rewrite the whole `CUTFIT_BENCH_JSON` array from their
+/// own merged view, so the counters must land after the final timing entry
+/// to survive in the file.
+fn bench_footprints(_c: &mut Criterion) {
+    let scale = rmat_scale();
+    let graph = workload(scale);
+    let dir = scratch_dir().join("footprints");
+    std::fs::create_dir_all(&dir).unwrap();
+    let text_path = dir.join("graph.txt");
+    let bin_path = dir.join("graph.cfb");
+    write_formats(&graph, &text_path, &bin_path);
+
+    let edges = graph.num_edges().max(1);
+    let text_bytes = std::fs::metadata(&text_path).unwrap().len();
+    let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
+    let ccsr_bytes = CompressedCsr::out_of(&graph).heap_bytes();
+    record_count("ingest/file_bytes/text", text_bytes);
+    record_count("ingest/file_bytes/binary", bin_bytes);
+    record_count("ingest/heap_bytes/compressed_csr", ccsr_bytes);
+    // Milli-bytes per edge: integer counters with three decimals of grain.
+    record_count("ingest/millibytes_per_edge/text", text_bytes * 1000 / edges);
+    record_count(
+        "ingest/millibytes_per_edge/binary",
+        bin_bytes * 1000 / edges,
+    );
+    record_count(
+        "ingest/millibytes_per_edge/compressed_csr",
+        ccsr_bytes * 1000 / edges,
+    );
+
+    let source = BinaryFileSource::open(&bin_path).unwrap();
+    let (streamed, stats) =
+        sweep_metrics_source(&source, &GraphXStrategy::all(), 16, CHUNK_EDGES, 1).unwrap();
+    let resident_bytes = graph.num_edges() * std::mem::size_of::<Edge>() as u64;
+    assert_eq!(
+        streamed,
+        sweep_metrics(&graph, &GraphXStrategy::all(), 16, 1),
+        "streamed sweep must be bit-identical to the resident sweep"
+    );
+    record_count("ingest/peak_resident_edge_bytes/resident", resident_bytes);
+    record_count(
+        "ingest/peak_resident_edge_bytes/streamed",
+        stats.peak_resident_edge_bytes,
+    );
+    let reduction_milli = resident_bytes * 1000 / stats.peak_resident_edge_bytes.max(1);
+    record_count("ingest/memory_reduction_millix", reduction_milli);
+    println!(
+        "ingest footprint rmat{scale}: text {:.2} B/edge, binary {:.2} B/edge, \
+         compressed CSR {:.2} B/edge; streamed sweep peak {} B vs resident {} B ({:.2}x)",
+        text_bytes as f64 / edges as f64,
+        bin_bytes as f64 / edges as f64,
+        ccsr_bytes as f64 / edges as f64,
+        stats.peak_resident_edge_bytes,
+        resident_bytes,
+        reduction_milli as f64 / 1000.0,
+    );
+    // The bounded-memory acceptance bar: only meaningful once the graph is
+    // big enough that O(chunk) beats O(E) by the margin (scale >= 14 at the
+    // default 64 Ki-edge chunk).
+    if graph.num_edges() >= (CHUNK_EDGES as u64) * 8 {
+        assert!(
+            reduction_milli >= 4000,
+            "streamed ingestion must keep >=4x fewer edge bytes resident: {}x/1000",
+            reduction_milli
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_paths,
+    bench_adjacency,
+    bench_footprints
+);
+criterion_main!(benches);

@@ -63,5 +63,58 @@ fn bench_superstep_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_superstep_throughput);
+/// The locality ablation for the ingestion pipeline's relabeling options:
+/// the same RMAT graph under four vertex orderings — natural (generator
+/// order), adversarially shuffled, BFS relabeled, and degree relabeled
+/// (hubs first) — each cut by the same 2D strategy and driven through the
+/// same PageRank supersteps. Orderings change *which* vertices collocate
+/// under locality-sensitive hashing and how sequential the engine's
+/// per-partition tables are scanned, so the superstep rate quantifies the
+/// cache-locality value of relabeling at ingestion time.
+fn bench_relabel_locality(c: &mut Criterion) {
+    let scale = rmat_scale();
+    let config = cutfit_core::datagen::RmatConfig {
+        scale,
+        edges: (1u64 << scale) * 8,
+        ..Default::default()
+    };
+    let natural = cutfit_core::datagen::rmat(&config, 42);
+    let orderings: [(&str, Graph); 4] = [
+        (
+            "shuffled",
+            cutfit_core::datagen::relabel::shuffle_ids(&natural, 7),
+        ),
+        ("bfs", cutfit_core::datagen::relabel::bfs_relabel(&natural)),
+        (
+            "degree",
+            cutfit_core::datagen::relabel::degree_relabel(&natural),
+        ),
+        ("natural", natural),
+    ];
+    let cluster = ClusterConfig::paper_cluster();
+
+    let mut group = c.benchmark_group(format!("relabel_locality/rmat{scale}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ITERATIONS + 1));
+    for (label, graph) in &orderings {
+        let pg = GraphXStrategy::EdgePartition2D.partition(graph, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(*label), &pg, |b, pg| {
+            b.iter(|| {
+                cutfit_core::algorithms::pagerank(
+                    pg,
+                    &cluster,
+                    ITERATIONS,
+                    &PregelConfig {
+                        executor: ExecutorMode::Sequential,
+                        ..Default::default()
+                    },
+                )
+                .expect("fits in memory")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep_throughput, bench_relabel_locality);
 criterion_main!(benches);

@@ -37,7 +37,26 @@ pub fn record_simulated(label: &str, secs: f64) -> bool {
     if path.is_empty() || !secs.is_finite() || secs < 0.0 {
         return false;
     }
-    let ns = (secs * 1e9).round() as u128;
+    record_entry(label, (secs * 1e9).round() as u128)
+}
+
+/// Records one dimensionless counter (bytes, ratios scaled ×1000, edge
+/// counts, …) under `label` in the `CUTFIT_BENCH_JSON` summary file, using
+/// the same entry shape as [`record_simulated`] with the raw count stored
+/// in `min_ns`/`mean_ns`. Downstream tooling treats entries uniformly; the
+/// label makes the unit explicit. No-op when the variable is unset or
+/// empty. Returns `true` when an entry was recorded.
+pub fn record_count(label: &str, count: u64) -> bool {
+    record_entry(label, count as u128)
+}
+
+fn record_entry(label: &str, ns: u128) -> bool {
+    let Ok(path) = std::env::var("CUTFIT_BENCH_JSON") else {
+        return false;
+    };
+    if path.is_empty() {
+        return false;
+    }
     let key = json_string(label);
     let entry = format!("{{\"label\":{key},\"min_ns\":{ns},\"mean_ns\":{ns},\"samples\":1}}");
     let mut guard = JSON_ENTRIES.lock().expect("no poisoned recorders");
@@ -121,10 +140,12 @@ mod tests {
             "overwrite"
         );
         assert!(record_simulated("scenario/faulty/fixed EP", 0.25));
+        assert!(record_count("ingest/peak_resident_bytes", 8_388_608));
         assert!(!record_simulated("bad", f64::NAN), "non-finite rejected");
         assert!(!record_simulated("bad", -1.0), "negative rejected");
         unsafe { std::env::remove_var("CUTFIT_BENCH_JSON") };
         assert!(!record_simulated("ignored", 1.0), "no-op when unset");
+        assert!(!record_count("ignored", 1), "no-op when unset");
 
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("[\n"), "valid array framing: {body}");
@@ -139,8 +160,9 @@ mod tests {
             "overwritten entry must not survive: {body}"
         );
         assert!(body.contains("{\"label\":\"scenario/faulty/fixed EP\",\"min_ns\":250000000"));
+        assert!(body.contains("{\"label\":\"ingest/peak_resident_bytes\",\"min_ns\":8388608"));
         let reloaded = load_entries(path.to_str().unwrap());
-        assert_eq!(reloaded.len(), 3, "roundtrips through load_entries");
+        assert_eq!(reloaded.len(), 4, "roundtrips through load_entries");
         std::fs::remove_file(&path).unwrap();
     }
 

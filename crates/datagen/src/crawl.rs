@@ -195,10 +195,10 @@ pub fn crawl_graph(config: &CrawlConfig, seed: u64) -> Graph {
         }
     }
 
-    let (mut relabeled, n) = first_touch_relabel(&edges);
-    relabeled.sort_unstable();
-    relabeled.dedup();
-    Graph::new_unchecked(n, relabeled)
+    let mut relabeled = first_touch_relabel(&edges);
+    relabeled.edges.sort_unstable();
+    relabeled.edges.dedup();
+    Graph::new_unchecked(relabeled.num_vertices, relabeled.edges)
 }
 
 #[cfg(test)]

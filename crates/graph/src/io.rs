@@ -5,8 +5,10 @@ use std::io::{BufRead, Write};
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
+use crate::types::VertexId;
 
-/// Errors produced while parsing an edge list.
+/// Errors produced while parsing a graph container (text edge list or the
+/// binary format of [`crate::binfmt`]).
 #[derive(Debug)]
 pub enum ParseError {
     /// Underlying I/O failure.
@@ -18,6 +20,40 @@ pub enum ParseError {
         /// The offending content.
         content: String,
     },
+    /// A binary container did not start with the expected magic bytes.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// A binary container declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this reader understands.
+        supported: u32,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// Absolute byte offset of the stored checksum.
+        offset: u64,
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the bytes read.
+        computed: u64,
+    },
+    /// The input ended before a complete record was read.
+    Truncated {
+        /// Absolute byte offset at which more bytes were needed.
+        offset: u64,
+    },
+    /// Structurally invalid binary data (impossible counts, out-of-range
+    /// endpoints, trailing garbage).
+    Corrupt {
+        /// Absolute byte offset of the offending record.
+        offset: u64,
+        /// What was wrong.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -27,6 +63,30 @@ impl std::fmt::Display for ParseError {
             ParseError::Malformed { line, content } => {
                 write!(f, "malformed edge at line {line}: {content:?}")
             }
+            ParseError::BadMagic { found } => {
+                write!(f, "not a cutfit binary graph (magic bytes {found:02x?})")
+            }
+            ParseError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported binary graph version {found} (this build reads <= {supported})"
+                )
+            }
+            ParseError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch at byte {offset}: stored {stored:#018x}, \
+                 computed {computed:#018x}"
+            ),
+            ParseError::Truncated { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            ParseError::Corrupt { offset, what } => {
+                write!(f, "corrupt binary graph at byte {offset}: {what}")
+            }
         }
     }
 }
@@ -35,7 +95,7 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::Io(e) => Some(e),
-            ParseError::Malformed { .. } => None,
+            _ => None,
         }
     }
 }
@@ -43,6 +103,31 @@ impl std::error::Error for ParseError {
 impl From<std::io::Error> for ParseError {
     fn from(e: std::io::Error) -> Self {
         ParseError::Io(e)
+    }
+}
+
+/// Facts learned from one streaming scan of a text edge list — enough to
+/// size buffers and reconstruct the vertex universe without materializing a
+/// single edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeListScan {
+    /// Number of data lines (= edges, multiplicities included).
+    pub edges: u64,
+    /// Largest endpoint ID seen, if any edge was present.
+    pub max_id: Option<VertexId>,
+    /// Vertex count declared by a leading `# cutfit edge list: N vertices`
+    /// header ([`write_edge_list`] emits one), which preserves trailing
+    /// isolated vertices across a text round trip. Foreign SNAP comments
+    /// never match and are simply skipped.
+    pub declared_vertices: Option<u64>,
+}
+
+impl EdgeListScan {
+    /// The vertex universe: `max_id + 1`, raised to any declared count.
+    pub fn num_vertices(&self) -> u64 {
+        self.max_id
+            .map_or(0, |m| m + 1)
+            .max(self.declared_vertices.unwrap_or(0))
     }
 }
 
@@ -57,14 +142,41 @@ impl From<std::io::Error> for ParseError {
 /// contain *exactly* two integers; trailing garbage (`1 2 3`, `1 2 # note`)
 /// is rejected as [`ParseError::Malformed`] with the offending line number,
 /// not silently ignored.
-pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
     let mut builder = GraphBuilder::new();
+    let scan = scan_edge_list(reader, &mut |s, d| {
+        builder.add_edge(s, d);
+    })?;
+    if let Some(v) = scan.declared_vertices {
+        builder.reserve_vertices(v);
+    }
+    Ok(builder.build())
+}
+
+/// Streams a SNAP-style edge list through `sink` without materializing it:
+/// the bounded-memory core of [`read_edge_list`] (same zero-copy byte
+/// parser, same error surface), exposed for out-of-core consumers such as
+/// [`crate::source::TextFileSource`]. Returns the scan facts (edge count,
+/// max endpoint ID, any declared vertex count) so a first pass can size
+/// everything a second pass needs.
+pub fn scan_edge_list<R: BufRead>(
+    mut reader: R,
+    sink: &mut dyn FnMut(VertexId, VertexId),
+) -> Result<EdgeListScan, ParseError> {
+    let mut scan = EdgeListScan::default();
     let mut carry: Vec<u8> = Vec::with_capacity(128);
     let mut line_no = 0usize;
     let malformed = |line_no: usize, line: &[u8]| ParseError::Malformed {
         line: line_no + 1,
         content: String::from_utf8_lossy(trim_ascii(line)).into_owned(),
     };
+    macro_rules! emit {
+        ($s:expr, $d:expr) => {{
+            scan.edges += 1;
+            scan.max_id = Some(scan.max_id.map_or($s.max($d), |m| m.max($s).max($d)));
+            sink($s, $d);
+        }};
+    }
     loop {
         let chunk = reader.fill_buf()?;
         if chunk.is_empty() {
@@ -72,10 +184,12 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
             // line.
             if !carry.is_empty() {
                 match parse_line(&carry, true) {
-                    LineStep::Edge(s, d, _) => {
-                        builder.add_edge(s, d);
+                    LineStep::Edge(s, d, _) => emit!(s, d),
+                    LineStep::Skip(_) => {
+                        if line_no == 0 {
+                            scan.declared_vertices = parse_declared_vertices(&carry);
+                        }
                     }
-                    LineStep::Skip(_) => {}
                     LineStep::Bad => return Err(malformed(line_no, &carry)),
                     LineStep::NeedMore => unreachable!("eof parses never stall"),
                 }
@@ -88,10 +202,12 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
                 Some(q) => {
                     carry.extend_from_slice(&chunk[..=q]);
                     match parse_line(&carry, false) {
-                        LineStep::Edge(s, d, _) => {
-                            builder.add_edge(s, d);
+                        LineStep::Edge(s, d, _) => emit!(s, d),
+                        LineStep::Skip(_) => {
+                            if line_no == 0 {
+                                scan.declared_vertices = parse_declared_vertices(&carry);
+                            }
                         }
-                        LineStep::Skip(_) => {}
                         LineStep::Bad => return Err(malformed(line_no, &carry)),
                         LineStep::NeedMore => unreachable!("line has its newline"),
                     }
@@ -112,11 +228,14 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
         loop {
             match parse_line(&chunk[pos..], false) {
                 LineStep::Edge(s, d, used) => {
-                    builder.add_edge(s, d);
+                    emit!(s, d);
                     line_no += 1;
                     pos += used;
                 }
                 LineStep::Skip(used) => {
+                    if line_no == 0 {
+                        scan.declared_vertices = parse_declared_vertices(&chunk[pos..pos + used]);
+                    }
                     line_no += 1;
                     pos += used;
                 }
@@ -132,7 +251,20 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, ParseError> {
         let consumed = chunk.len();
         reader.consume(consumed);
     }
-    Ok(builder.build())
+    Ok(scan)
+}
+
+/// Recognises the exact header [`write_edge_list`] emits —
+/// `# cutfit edge list: N vertices, M edges` — and extracts `N`. Any other
+/// comment (SNAP headers, hand-written notes) yields `None`.
+fn parse_declared_vertices(line: &[u8]) -> Option<u64> {
+    let s = std::str::from_utf8(trim_ascii(line)).ok()?;
+    let rest = s.strip_prefix("# cutfit edge list: ")?;
+    let (digits, rest) = rest.split_once(' ')?;
+    if !rest.starts_with("vertices") {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 /// Outcome of parsing one line prefix of a byte slice.

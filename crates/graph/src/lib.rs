@@ -11,14 +11,25 @@
 //! (degrees, reciprocity, triangles, connected components, diameter) plus
 //! the degree-distribution series behind Figures 1 and 2.
 
+//!
+//! The out-of-core layer lives in three sibling modules: [`binfmt`] (the
+//! versioned, checksummed binary container), [`source`] (the
+//! [`source::GraphSource`] chunked-streaming abstraction over memory,
+//! text, and binary storage), and [`csr`]'s [`csr::CompressedCsr`]
+//! (delta/varint neighbor blocks behind the same [`csr::Neighbors`]
+//! accessor as the flat [`Csr`]).
+
 pub mod analysis;
+pub mod binfmt;
 pub mod builder;
 pub mod csr;
 pub mod graph;
 pub mod io;
+pub mod source;
 pub mod types;
 
 pub use builder::GraphBuilder;
-pub use csr::Csr;
+pub use csr::{CompressedCsr, Csr, Neighbors};
 pub use graph::Graph;
+pub use source::{BinaryFileSource, GraphSource, StreamStats, TextFileSource};
 pub use types::{Edge, VertexId};

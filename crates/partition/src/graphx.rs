@@ -7,12 +7,13 @@
 //! the paper, including 1D/2D's "mixing prime" multiplication and 2D's
 //! next-perfect-square grid when `num_parts` is not a perfect square.
 
+use cutfit_graph::io::ParseError;
 use cutfit_graph::types::PartId;
-use cutfit_graph::{Graph, VertexId};
+use cutfit_graph::{Edge, Graph, GraphSource, StreamStats, VertexId};
 use cutfit_util::hash::{graphx_mix, hash_pair};
 use cutfit_util::num::ceil_sqrt;
 
-use crate::strategy::{assign_pure, Partitioner};
+use crate::strategy::{assign_pure, assign_source_with, Partitioner};
 
 /// The paper's six edge-partitioning strategies.
 ///
@@ -133,6 +134,19 @@ impl Partitioner for GraphXStrategy {
         // Each edge's partition is a pure function of its endpoints, so the
         // chunked parallel fill is trivially bit-identical to sequential.
         assign_pure(graph, threads, |e| {
+            self.partition_edge(e.src, e.dst, num_parts)
+        })
+    }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        // Pure per-edge hash: stream directly, no graph state at all.
+        assign_source_with(source, chunk_edges, sink, |e| {
             self.partition_edge(e.src, e.dst, num_parts)
         })
     }

@@ -28,9 +28,9 @@ pub mod streaming;
 pub mod sweep;
 
 pub use graphx::GraphXStrategy;
-pub use metrics::{MetricKind, PartitionMetrics};
+pub use metrics::{MetricKind, MetricsAccumulator, PartitionMetrics};
 pub use multilevel::MultilevelEdgeCut;
 pub use partitioned::{EdgePartition, PartitionedGraph, RoutingTable, NO_PART};
 pub use strategy::{all_partitioners, Partitioner};
 pub use streaming::{Dbh, GreedyVertexCut, Hdrf, HybridCut, SourceRangeCut};
-pub use sweep::{assign_all, sweep_metrics};
+pub use sweep::{assign_all, assign_all_source, sweep_metrics, sweep_metrics_source};

@@ -19,7 +19,7 @@
 //! identity is enforced by tests.
 
 use cutfit_graph::types::PartId;
-use cutfit_graph::{Graph, VertexId};
+use cutfit_graph::{Edge, Graph, VertexId};
 use cutfit_stats::Summary;
 
 use crate::partitioned::PartitionedGraph;
@@ -138,17 +138,9 @@ impl PartitionMetrics {
             graph.num_edges() as usize,
             "one assignment per edge"
         );
-        assert!(num_parts > 0, "need at least one partition");
-        let np = num_parts as usize;
-        let mut counts = vec![0u64; np];
-        let mut replicas = ReplicaSets::new(graph.num_vertices() as usize, num_parts);
-        for (e, &p) in graph.edges().iter().zip(assignment) {
-            assert!(p < num_parts, "partition id {p} out of range");
-            counts[p as usize] += 1;
-            replicas.insert(e.src, p);
-            replicas.insert(e.dst, p);
-        }
-        Self::finish(num_parts, &counts, replicas.replication())
+        let mut acc = MetricsAccumulator::new(graph.num_vertices(), num_parts);
+        acc.observe_chunk(graph.edges(), assignment);
+        acc.finish()
     }
 
     /// Shared finishing arithmetic: per-partition edge counts plus the
@@ -223,6 +215,63 @@ impl PartitionMetrics {
             MetricKind::PartStDev => self.part_stdev,
             MetricKind::ReplicationFactor => self.replication_factor,
         }
+    }
+}
+
+/// Incremental builder behind [`PartitionMetrics::of_assignment`], exposed
+/// so chunked [`GraphSource`](cutfit_graph::GraphSource) sweeps can fold
+/// (edge, partition) observations in as chunks stream past and discard the
+/// assignments immediately — working state is O(vertices + parts), never
+/// O(edges). Feeding the same observations in any chunking yields the same
+/// [`PartitionMetrics`], because everything funnels through the identical
+/// finishing arithmetic.
+pub struct MetricsAccumulator {
+    num_parts: PartId,
+    counts: Vec<u64>,
+    replicas: ReplicaSets,
+}
+
+impl MetricsAccumulator {
+    /// Starts an empty accumulation over `num_vertices` vertices.
+    ///
+    /// # Panics
+    /// Panics if `num_parts == 0`.
+    pub fn new(num_vertices: u64, num_parts: PartId) -> Self {
+        assert!(num_parts > 0, "need at least one partition");
+        MetricsAccumulator {
+            num_parts,
+            counts: vec![0u64; num_parts as usize],
+            replicas: ReplicaSets::new(num_vertices as usize, num_parts),
+        }
+    }
+
+    /// Folds in one edge's assignment.
+    ///
+    /// # Panics
+    /// Panics if `p >= num_parts`.
+    #[inline]
+    pub fn observe(&mut self, e: &Edge, p: PartId) {
+        assert!(p < self.num_parts, "partition id {p} out of range");
+        self.counts[p as usize] += 1;
+        self.replicas.insert(e.src, p);
+        self.replicas.insert(e.dst, p);
+    }
+
+    /// Folds in a chunk of aligned edges and assignments.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or any id is out of range.
+    pub fn observe_chunk(&mut self, edges: &[Edge], assignment: &[PartId]) {
+        assert_eq!(edges.len(), assignment.len(), "one assignment per edge");
+        for (e, &p) in edges.iter().zip(assignment) {
+            self.observe(e, p);
+        }
+    }
+
+    /// Finishes into the exact metrics [`PartitionMetrics::of`] would
+    /// report for the same assignment.
+    pub fn finish(self) -> PartitionMetrics {
+        PartitionMetrics::finish(self.num_parts, &self.counts, self.replicas.replication())
     }
 }
 

@@ -1,7 +1,8 @@
 //! The [`Partitioner`] abstraction.
 
+use cutfit_graph::io::ParseError;
 use cutfit_graph::types::PartId;
-use cutfit_graph::{Edge, Graph};
+use cutfit_graph::{Edge, Graph, GraphSource, StreamStats};
 use cutfit_util::exec::fill_chunks;
 
 use crate::partitioned::PartitionedGraph;
@@ -22,6 +23,27 @@ where
         }
     });
     out
+}
+
+/// Chunked streaming assignment through one reusable buffer: peak resident
+/// edge memory is O(chunk). `per_edge` sees edges in exact source order, so
+/// both pure hashes and order-dependent streaming state produce assignments
+/// bit-identical to the resident path.
+pub(crate) fn assign_source_with<F>(
+    source: &dyn GraphSource,
+    chunk_edges: usize,
+    sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    mut per_edge: F,
+) -> Result<StreamStats, ParseError>
+where
+    F: FnMut(&Edge) -> PartId,
+{
+    let mut buf: Vec<PartId> = Vec::new();
+    source.for_each_chunk(chunk_edges, &mut |chunk| {
+        buf.clear();
+        buf.extend(chunk.iter().map(&mut per_edge));
+        sink(chunk, &buf);
+    })
 }
 
 /// Assigns every edge of a graph to one of `num_parts` partitions.
@@ -64,6 +86,46 @@ pub trait Partitioner {
         self.assign_edges(graph, num_parts)
     }
 
+    /// Streams a [`GraphSource`] through the partitioner in bounded-size
+    /// chunks: `sink` receives each chunk of edges alongside their
+    /// assignments (aligned, same length), in source order, and may discard
+    /// them immediately — so the caller's peak edge memory is O(chunk).
+    ///
+    /// The concatenated assignments are **bit-identical** to
+    /// [`Partitioner::assign_edges`] on the materialized graph for every
+    /// chunk size (pinned by proptests). Per-edge families override this
+    /// with truly chunked paths (pure hashes stream directly; degree-table
+    /// strategies take one O(V) counting pass first; stateful streamers
+    /// carry their decision state across chunks). This default materializes
+    /// the whole source — correct for whole-graph partitioners (multilevel)
+    /// that cannot decide edge-by-edge, and honest about it in the returned
+    /// [`StreamStats::peak_resident_edge_bytes`].
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        let graph = cutfit_graph::source::materialize(source)?;
+        let assignment = self.assign_edges(&graph, num_parts);
+        let chunk_edges = chunk_edges.max(1);
+        let mut stats = StreamStats {
+            peak_resident_edge_bytes: graph.num_edges() * std::mem::size_of::<Edge>() as u64,
+            ..StreamStats::default()
+        };
+        for (es, ps) in graph
+            .edges()
+            .chunks(chunk_edges)
+            .zip(assignment.chunks(chunk_edges))
+        {
+            stats.edges += es.len() as u64;
+            stats.chunks += 1;
+            sink(es, ps);
+        }
+        Ok(stats)
+    }
+
     /// Convenience: assign edges and build the full vertex-cut
     /// representation with routing tables.
     fn partition(&self, graph: &Graph, num_parts: PartId) -> PartitionedGraph {
@@ -104,6 +166,16 @@ impl<P: Partitioner + ?Sized> Partitioner for &P {
     ) -> Vec<PartId> {
         (**self).assign_edges_threaded(graph, num_parts, threads)
     }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        (**self).assign_source(source, num_parts, chunk_edges, sink)
+    }
 }
 
 impl Partitioner for Box<dyn Partitioner> {
@@ -122,6 +194,16 @@ impl Partitioner for Box<dyn Partitioner> {
         threads: usize,
     ) -> Vec<PartId> {
         (**self).assign_edges_threaded(graph, num_parts, threads)
+    }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        (**self).assign_source(source, num_parts, chunk_edges, sink)
     }
 }
 

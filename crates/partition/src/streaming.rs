@@ -6,11 +6,28 @@
 //! benchmark (`ablation_streaming`) compares them against the six on the
 //! same metrics to test whether the paper's conclusions generalise.
 
+use cutfit_graph::io::ParseError;
 use cutfit_graph::types::PartId;
-use cutfit_graph::{Graph, VertexId};
+use cutfit_graph::{Edge, Graph, GraphSource, StreamStats, VertexId};
 use cutfit_util::hash::hash64;
 
-use crate::strategy::{assign_pure, Partitioner};
+use crate::strategy::{assign_pure, assign_source_with, Partitioner};
+
+/// One O(V)-memory counting pass over a source: per-vertex out- and
+/// in-degrees, for the degree-table strategies' chunked paths.
+fn degree_tables(source: &dyn GraphSource) -> Result<(Vec<u32>, Vec<u32>), ParseError> {
+    let n = source.num_vertices() as usize;
+    let mut out = vec![0u32; n];
+    let mut inn = vec![0u32; n];
+    // Bounded chunks: the counting pass must not re-materialize the edges.
+    source.for_each_chunk(1 << 16, &mut |chunk| {
+        for e in chunk {
+            out[e.src as usize] += 1;
+            inn[e.dst as usize] += 1;
+        }
+    })?;
+    Ok((out, inn))
+}
 
 /// Degree-Based Hashing (Xie et al., NIPS'14): hash each edge by its
 /// lower-degree endpoint, so high-degree vertices (whose replication is
@@ -37,6 +54,26 @@ impl Partitioner for Dbh {
         let inn = graph.in_degrees();
         let degree = |v: VertexId| out[v as usize] as u64 + inn[v as usize] as u64;
         assign_pure(graph, threads, |e| {
+            let key = if degree(e.src) <= degree(e.dst) {
+                e.src
+            } else {
+                e.dst
+            };
+            (hash64(key) % num_parts as u64) as PartId
+        })
+    }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        // Degree tables first (O(V) memory), then a pure chunked pass.
+        let (out, inn) = degree_tables(source)?;
+        let degree = |v: VertexId| out[v as usize] as u64 + inn[v as usize] as u64;
+        assign_source_with(source, chunk_edges, sink, |e| {
             let key = if degree(e.src) <= degree(e.dst) {
                 e.src
             } else {
@@ -73,56 +110,88 @@ impl Default for GreedyVertexCut {
     }
 }
 
+/// The sequential decision state of [`GreedyVertexCut`], factored out so
+/// the resident and chunked-source paths run the *same* per-edge code —
+/// bit-identical assignments by construction, not by parallel maintenance.
+struct GreedyState {
+    num_parts: PartId,
+    balance_slack: f64,
+    loads: Vec<u64>,
+    // Replica sets as small sorted vecs: replication factors are tiny
+    // compared to N, so linear ops beat hashing here.
+    replicas: Vec<Vec<PartId>>,
+    seen: u64,
+}
+
+impl GreedyState {
+    fn new(num_vertices: u64, num_parts: PartId, balance_slack: f64) -> Self {
+        GreedyState {
+            num_parts,
+            balance_slack,
+            loads: vec![0u64; num_parts as usize],
+            replicas: vec![Vec::new(); num_vertices as usize],
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, e: &Edge) -> PartId {
+        let (s, d) = (e.src as usize, e.dst as usize);
+        let np = self.num_parts as usize;
+        // Load cap: affinity candidates above it are skipped, letting
+        // the decision fall through to less loaded rules.
+        let cap = ((self.seen as f64 / np as f64) * self.balance_slack).ceil() as u64 + 1;
+        self.seen += 1;
+        let loads = &self.loads;
+        let pick = {
+            let a = &self.replicas[s];
+            let b = &self.replicas[d];
+            let ok = |p: &PartId| loads[*p as usize] < cap;
+            let common = least_loaded(
+                a.iter()
+                    .filter(|p| b.contains(p))
+                    .filter(|p| ok(p))
+                    .copied(),
+                loads,
+            );
+            match common {
+                Some(p) => p,
+                None => {
+                    let union =
+                        least_loaded(a.iter().chain(b.iter()).filter(|p| ok(p)).copied(), loads);
+                    match union {
+                        Some(p) => p,
+                        None => least_loaded(0..self.num_parts, loads).expect("parts exist"),
+                    }
+                }
+            }
+        };
+        self.loads[pick as usize] += 1;
+        insert_sorted(&mut self.replicas[s], pick);
+        insert_sorted(&mut self.replicas[d], pick);
+        pick
+    }
+}
+
 impl Partitioner for GreedyVertexCut {
     fn name(&self) -> &'static str {
         "Greedy"
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
-        let np = num_parts as usize;
-        let n = graph.num_vertices() as usize;
-        let mut loads = vec![0u64; np];
-        // Replica sets as small sorted vecs: replication factors are tiny
-        // compared to N, so linear ops beat hashing here.
-        let mut replicas: Vec<Vec<PartId>> = vec![Vec::new(); n];
-        let mut out = Vec::with_capacity(graph.num_edges() as usize);
+        let mut state = GreedyState::new(graph.num_vertices(), num_parts, self.balance_slack);
+        graph.edges().iter().map(|e| state.push(e)).collect()
+    }
 
-        for (i, e) in graph.edges().iter().enumerate() {
-            let (s, d) = (e.src as usize, e.dst as usize);
-            // Load cap: affinity candidates above it are skipped, letting
-            // the decision fall through to less loaded rules.
-            let cap = ((i as f64 / np as f64) * self.balance_slack).ceil() as u64 + 1;
-            let pick = {
-                let a = &replicas[s];
-                let b = &replicas[d];
-                let ok = |p: &PartId| loads[*p as usize] < cap;
-                let common = least_loaded(
-                    a.iter()
-                        .filter(|p| b.contains(p))
-                        .filter(|p| ok(p))
-                        .copied(),
-                    &loads,
-                );
-                match common {
-                    Some(p) => p,
-                    None => {
-                        let union = least_loaded(
-                            a.iter().chain(b.iter()).filter(|p| ok(p)).copied(),
-                            &loads,
-                        );
-                        match union {
-                            Some(p) => p,
-                            None => least_loaded(0..num_parts, &loads).expect("parts exist"),
-                        }
-                    }
-                }
-            };
-            loads[pick as usize] += 1;
-            insert_sorted(&mut replicas[s], pick);
-            insert_sorted(&mut replicas[d], pick);
-            out.push(pick);
-        }
-        out
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        // Carry the streaming state across chunks: O(V + parts) memory.
+        let mut state = GreedyState::new(source.num_vertices(), num_parts, self.balance_slack);
+        assign_source_with(source, chunk_edges, sink, |e| state.push(e))
     }
 }
 
@@ -146,59 +215,87 @@ impl Default for Hdrf {
     }
 }
 
+/// The sequential decision state of [`Hdrf`], shared by the resident and
+/// chunked-source paths (same per-edge code, bit-identical results).
+struct HdrfState {
+    num_parts: PartId,
+    lambda: f64,
+    loads: Vec<u64>,
+    replicas: Vec<Vec<PartId>>,
+    // Partial degrees, updated as edges stream in (the streaming-setting
+    // approximation the HDRF paper uses).
+    partial_degree: Vec<u64>,
+}
+
+impl HdrfState {
+    fn new(num_vertices: u64, num_parts: PartId, lambda: f64) -> Self {
+        HdrfState {
+            num_parts,
+            lambda,
+            loads: vec![0u64; num_parts as usize],
+            replicas: vec![Vec::new(); num_vertices as usize],
+            partial_degree: vec![0u64; num_vertices as usize],
+        }
+    }
+
+    fn push(&mut self, e: &Edge) -> PartId {
+        let eps = 1.0;
+        let (s, d) = (e.src as usize, e.dst as usize);
+        self.partial_degree[s] += 1;
+        self.partial_degree[d] += 1;
+        let (ds, dd) = (self.partial_degree[s] as f64, self.partial_degree[d] as f64);
+        let theta_s = ds / (ds + dd);
+        let theta_d = 1.0 - theta_s;
+        let max_load = self.loads.iter().copied().max().unwrap_or(0) as f64;
+        let min_load = self.loads.iter().copied().min().unwrap_or(0) as f64;
+
+        let mut best = 0 as PartId;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..self.num_parts {
+            let g_s = if self.replicas[s].contains(&p) {
+                1.0 + (1.0 - theta_s)
+            } else {
+                0.0
+            };
+            let g_d = if self.replicas[d].contains(&p) {
+                1.0 + (1.0 - theta_d)
+            } else {
+                0.0
+            };
+            let bal = self.lambda * (max_load - self.loads[p as usize] as f64)
+                / (eps + max_load - min_load);
+            let score = g_s + g_d + bal;
+            if score > best_score {
+                best_score = score;
+                best = p;
+            }
+        }
+        self.loads[best as usize] += 1;
+        insert_sorted(&mut self.replicas[s], best);
+        insert_sorted(&mut self.replicas[d], best);
+        best
+    }
+}
+
 impl Partitioner for Hdrf {
     fn name(&self) -> &'static str {
         "HDRF"
     }
 
     fn assign_edges(&self, graph: &Graph, num_parts: PartId) -> Vec<PartId> {
-        let np = num_parts as usize;
-        let n = graph.num_vertices() as usize;
-        let mut loads = vec![0u64; np];
-        let mut replicas: Vec<Vec<PartId>> = vec![Vec::new(); n];
-        // Partial degrees, updated as edges stream in (the streaming-setting
-        // approximation the HDRF paper uses).
-        let mut partial_degree = vec![0u64; n];
-        let mut out = Vec::with_capacity(graph.num_edges() as usize);
-        let eps = 1.0;
+        let mut state = HdrfState::new(graph.num_vertices(), num_parts, self.lambda);
+        graph.edges().iter().map(|e| state.push(e)).collect()
+    }
 
-        for e in graph.edges() {
-            let (s, d) = (e.src as usize, e.dst as usize);
-            partial_degree[s] += 1;
-            partial_degree[d] += 1;
-            let (ds, dd) = (partial_degree[s] as f64, partial_degree[d] as f64);
-            let theta_s = ds / (ds + dd);
-            let theta_d = 1.0 - theta_s;
-            let max_load = loads.iter().copied().max().unwrap_or(0) as f64;
-            let min_load = loads.iter().copied().min().unwrap_or(0) as f64;
-
-            let mut best = 0 as PartId;
-            let mut best_score = f64::NEG_INFINITY;
-            for p in 0..num_parts {
-                let g_s = if replicas[s].contains(&p) {
-                    1.0 + (1.0 - theta_s)
-                } else {
-                    0.0
-                };
-                let g_d = if replicas[d].contains(&p) {
-                    1.0 + (1.0 - theta_d)
-                } else {
-                    0.0
-                };
-                let bal = self.lambda * (max_load - loads[p as usize] as f64)
-                    / (eps + max_load - min_load);
-                let score = g_s + g_d + bal;
-                if score > best_score {
-                    best_score = score;
-                    best = p;
-                }
-            }
-            loads[best as usize] += 1;
-            insert_sorted(&mut replicas[s], best);
-            insert_sorted(&mut replicas[d], best);
-            out.push(best);
-        }
-        out
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        let mut state = HdrfState::new(source.num_vertices(), num_parts, self.lambda);
+        assign_source_with(source, chunk_edges, sink, |e| state.push(e))
     }
 }
 
@@ -246,6 +343,24 @@ impl Partitioner for HybridCut {
             (hash64(key) % num_parts as u64) as PartId
         })
     }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        let (_, in_deg) = degree_tables(source)?;
+        assign_source_with(source, chunk_edges, sink, |e| {
+            let key = if in_deg[e.dst as usize] > self.threshold {
+                e.src
+            } else {
+                e.dst
+            };
+            (hash64(key) % num_parts as u64) as PartId
+        })
+    }
 }
 
 /// Range (block) cut: contiguous source-ID blocks map to the same
@@ -275,6 +390,19 @@ impl Partitioner for SourceRangeCut {
     ) -> Vec<PartId> {
         let block = graph.num_vertices().div_ceil(num_parts as u64).max(1);
         assign_pure(graph, threads, |e| {
+            ((e.src / block) as PartId).min(num_parts - 1)
+        })
+    }
+
+    fn assign_source(
+        &self,
+        source: &dyn GraphSource,
+        num_parts: PartId,
+        chunk_edges: usize,
+        sink: &mut dyn FnMut(&[Edge], &[PartId]),
+    ) -> Result<StreamStats, ParseError> {
+        let block = source.num_vertices().div_ceil(num_parts as u64).max(1);
+        assign_source_with(source, chunk_edges, sink, |e| {
             ((e.src / block) as PartId).min(num_parts - 1)
         })
     }

@@ -22,12 +22,13 @@
 //! [`Partitioner::assign_edges`](crate::Partitioner::assign_edges) followed
 //! by [`PartitionMetrics::of_assignment`] instead.
 
+use cutfit_graph::io::ParseError;
 use cutfit_graph::types::PartId;
-use cutfit_graph::Graph;
+use cutfit_graph::{Edge, Graph, GraphSource, StreamStats};
 use cutfit_util::exec::{run_ranges, DisjointSlice};
 
 use crate::graphx::GraphXStrategy;
-use crate::metrics::PartitionMetrics;
+use crate::metrics::{MetricsAccumulator, PartitionMetrics};
 
 /// The workspace-wide "`0` means auto-size from the host" resolution,
 /// re-exported from [`cutfit_util::exec`] for the partitioning APIs that
@@ -108,6 +109,73 @@ pub fn sweep_metrics(
         .collect()
 }
 
+/// [`assign_all`] over a chunked [`GraphSource`]: every candidate strategy
+/// judges every edge while the chunk is hot, and `sink` receives
+/// `(strategy index, edges, assignments)` per (chunk × strategy) — discard
+/// them and peak edge memory stays O(chunk), never O(E).
+///
+/// For each strategy, the concatenation of its sunk assignment slices is
+/// bit-identical to `assign_all(&materialized, …)[k]` at any chunk size
+/// (the source delivers the same edge order; each decision is a pure
+/// function of the edge).
+pub fn assign_all_source(
+    source: &dyn GraphSource,
+    strategies: &[GraphXStrategy],
+    num_parts: PartId,
+    chunk_edges: usize,
+    sink: &mut dyn FnMut(usize, &[Edge], &[PartId]),
+) -> Result<StreamStats, ParseError> {
+    let mut buf: Vec<PartId> = Vec::new();
+    source.for_each_chunk(chunk_edges, &mut |chunk| {
+        for (k, strategy) in strategies.iter().enumerate() {
+            buf.clear();
+            buf.extend(
+                chunk
+                    .iter()
+                    .map(|e| strategy.partition_edge(e.src, e.dst, num_parts)),
+            );
+            sink(k, chunk, &buf);
+        }
+    })
+}
+
+/// [`sweep_metrics`] without a resident edge list: chunks stream off the
+/// source once, each strategy's [`MetricsAccumulator`] folds its per-chunk
+/// assignments in (fanned out over the pool across strategies), and the
+/// assignments are dropped on the spot. Working memory is
+/// O(V + strategies · parts + chunk); the returned metrics are exactly what
+/// [`sweep_metrics`] computes on the materialized graph (pinned by tests).
+///
+/// Also returns the pass's [`StreamStats`] so callers can bill or assert
+/// the bounded-memory claim.
+pub fn sweep_metrics_source(
+    source: &dyn GraphSource,
+    strategies: &[GraphXStrategy],
+    num_parts: PartId,
+    chunk_edges: usize,
+    threads: usize,
+) -> Result<(Vec<PartitionMetrics>, StreamStats), ParseError> {
+    let threads = resolve_threads(threads);
+    let n = source.num_vertices();
+    let mut accs: Vec<MetricsAccumulator> = strategies
+        .iter()
+        .map(|_| MetricsAccumulator::new(n, num_parts))
+        .collect();
+    let stats = source.for_each_chunk(chunk_edges, &mut |chunk| {
+        let cells = DisjointSlice::new(&mut accs);
+        run_ranges(strategies.len(), threads, |range| {
+            for k in range {
+                // SAFETY: strategy indices are disjoint across threads.
+                let acc = unsafe { &mut *cells.get_mut(k) };
+                for e in chunk {
+                    acc.observe(e, strategies[k].partition_edge(e.src, e.dst, num_parts));
+                }
+            }
+        });
+    })?;
+    Ok((accs.into_iter().map(|a| a.finish()).collect(), stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +228,36 @@ mod tests {
             assert_eq!(m.part_stdev, 0.0);
         }
         assert!(assign_all(&g, &[], 8, 2).is_empty());
+    }
+
+    #[test]
+    fn assign_all_source_matches_resident_at_any_chunk_size() {
+        let g = graph();
+        let strategies = GraphXStrategy::all();
+        let resident = assign_all(&g, &strategies, 16, 1);
+        for chunk in [1usize, 97, 1024, 1 << 20] {
+            let mut streamed: Vec<Vec<PartId>> = strategies.iter().map(|_| Vec::new()).collect();
+            let stats = assign_all_source(&g, &strategies, 16, chunk, &mut |k, es, ps| {
+                assert_eq!(es.len(), ps.len());
+                streamed[k].extend_from_slice(ps);
+            })
+            .unwrap();
+            assert_eq!(stats.edges, g.num_edges());
+            assert_eq!(streamed, resident, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn sweep_metrics_source_matches_resident() {
+        let g = graph();
+        let strategies = GraphXStrategy::all();
+        let resident = sweep_metrics(&g, &strategies, 32, 1);
+        for (chunk, threads) in [(64usize, 1usize), (511, 3), (1 << 20, 0)] {
+            let (streamed, stats) =
+                sweep_metrics_source(&g, &strategies, 32, chunk, threads).unwrap();
+            assert_eq!(streamed, resident, "chunk={chunk} threads={threads}");
+            assert_eq!(stats.edges, g.num_edges());
+        }
     }
 
     #[test]

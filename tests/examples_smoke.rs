@@ -1,4 +1,4 @@
-//! Smoke tests mirroring each of the five `examples/*.rs` flows on tiny
+//! Smoke tests mirroring each of the six `examples/*.rs` flows on tiny
 //! graphs, so `cargo test` exercises every documented entry point without
 //! paying the examples' full default scales. CI additionally builds the
 //! example binaries themselves and runs `quickstart` end to end.
@@ -117,6 +117,51 @@ fn partitioner_comparison_flow() {
         let r = pagerank(&pg, &cluster, 3, &Default::default()).expect("fits");
         assert!(r.sim.total_seconds > 0.0, "{strategy}");
     }
+}
+
+/// `examples/out_of_core.rs`: convert to the binary container, stream a
+/// sweep over it with bounded edge memory, then serve jobs from a
+/// binary-backed workspace billed by bytes on disk.
+#[test]
+fn out_of_core_flow() {
+    use cutfit::graph::{binfmt, BinaryFileSource, GraphSource};
+
+    let graph = DatasetProfile::pocek().generate(0.001, 42);
+    let dir = std::env::temp_dir().join(format!("cutfit-ooc-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.cfb");
+    let bin_bytes = binfmt::write_binary_file(&graph, &path).expect("write container");
+    assert!(bin_bytes < graph.num_edges() * std::mem::size_of::<Edge>() as u64);
+
+    let source = BinaryFileSource::open(&path).expect("container opens");
+    assert_eq!(source.num_edges(), graph.num_edges());
+    let strategies = GraphXStrategy::all();
+    let (streamed, stats) =
+        cutfit::partition::sweep_metrics_source(&source, &strategies, 16, 1 << 12, 0)
+            .expect("container streams");
+    assert_eq!(stats.edges, graph.num_edges());
+    assert_eq!(
+        streamed,
+        cutfit::partition::sweep_metrics(&graph, &strategies, 16, 1),
+        "streamed sweep matches the resident sweep"
+    );
+
+    let mut ws = Workspace::from_binary_file(
+        &path,
+        ClusterConfig::paper_cluster(),
+        ExecutorMode::Sequential,
+    )
+    .expect("container loads");
+    assert_eq!(ws.graph().as_ref(), &graph, "lossless load");
+    assert_eq!(ws.load_source_bytes(), bin_bytes);
+    let report = ws.run_workload(&[Job::fixed(
+        Algorithm::PageRank { iterations: 3 },
+        GraphXStrategy::EdgePartition2D,
+        16,
+    )]);
+    assert_eq!(report.failures(), 0);
+    assert!(report.provisioning_seconds() > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `examples/oom_postmortem.rs`: long-lineage SSSP on a road network dies of
