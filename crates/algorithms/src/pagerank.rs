@@ -163,7 +163,7 @@ mod tests {
             .states
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| cutfit_util::num::nan_last_cmp(*a.1, *b.1))
             .unwrap()
             .0;
         assert_eq!(max_idx, 0, "vertex 0 has three in-edges");

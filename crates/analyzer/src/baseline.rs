@@ -1,0 +1,248 @@
+//! The baseline ratchet: pre-existing findings are frozen per `(file, rule)`
+//! in `analyzer-baseline.toml`; the check fails on any **new** finding (count
+//! above the frozen number) and on any **stale** entry (count below it — the
+//! debt shrank and the baseline must be regenerated so it can never grow
+//! back).
+//!
+//! Counts, not line numbers, are what is frozen: unrelated edits shift lines
+//! constantly, and a count ratchet is insensitive to that while still
+//! guaranteeing monotone progress.
+//!
+//! The file format is a tiny TOML subset written and read by this module
+//! only (the analyzer has no dependencies):
+//!
+//! ```toml
+//! # cutfit-analyzer baseline — regenerate with `cargo run -p cutfit-analyzer -- baseline`
+//! [[entry]]
+//! file = "crates/engine/src/pregel.rs"
+//! rule = "D5"
+//! count = 3
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Frozen finding counts keyed by `(file, rule id)`. BTreeMap so that the
+/// serialized form is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+/// One difference between the scan and the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// More findings than frozen: `excess` new ones (shown per finding in the
+    /// report).
+    New {
+        file: String,
+        rule: String,
+        frozen: u64,
+        actual: u64,
+    },
+    /// Fewer findings than frozen: the baseline is stale and must be
+    /// regenerated to lock in the progress.
+    Stale {
+        file: String,
+        rule: String,
+        frozen: u64,
+        actual: u64,
+    },
+}
+
+impl Baseline {
+    /// Builds a baseline that freezes exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.file.clone(), f.rule.id().to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Compares a scan against the frozen counts.
+    pub fn drift(&self, findings: &[Finding]) -> Vec<Drift> {
+        let actual = Baseline::from_findings(findings);
+        let mut out = Vec::new();
+        let mut keys: Vec<&(String, String)> =
+            self.entries.keys().chain(actual.entries.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let frozen = self.entries.get(key).copied().unwrap_or(0);
+            let now = actual.entries.get(key).copied().unwrap_or(0);
+            if now > frozen {
+                out.push(Drift::New {
+                    file: key.0.clone(),
+                    rule: key.1.clone(),
+                    frozen,
+                    actual: now,
+                });
+            } else if now < frozen {
+                out.push(Drift::Stale {
+                    file: key.0.clone(),
+                    rule: key.1.clone(),
+                    frozen,
+                    actual: now,
+                });
+            }
+        }
+        out
+    }
+
+    /// Serializes to the TOML subset, deterministically.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# cutfit-analyzer baseline: frozen per-(file, rule) finding counts.\n\
+             # New findings fail the build; shrinking debt requires regenerating\n\
+             # this file with `cargo run -p cutfit-analyzer -- baseline`.\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            s.push_str(&format!(
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        s
+    }
+
+    /// Parses the TOML subset produced by [`Baseline::render`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let flush = |cur: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
+                     entries: &mut BTreeMap<(String, String), u64>|
+         -> Result<(), String> {
+            if let Some((f, r, c)) = cur.take() {
+                match (f, r, c) {
+                    (Some(f), Some(r), Some(c)) => {
+                        if entries.insert((f.clone(), r.clone()), c).is_some() {
+                            return Err(format!("duplicate baseline entry for {f} / {r}"));
+                        }
+                    }
+                    _ => return Err("incomplete [[entry]] (need file, rule, count)".to_string()),
+                }
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut cur, &mut entries)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got: {line}"
+                ));
+            };
+            let slot = cur
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside [[entry]]"))?;
+            let value = value.trim();
+            match key.trim() {
+                "file" => slot.0 = Some(unquote(value, lineno)?),
+                "rule" => slot.1 = Some(unquote(value, lineno)?),
+                "count" => {
+                    slot.2 = Some(value.parse::<u64>().map_err(|_| {
+                        format!("line {lineno}: count must be an integer, got: {value}")
+                    })?)
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        flush(&mut cur, &mut entries)?;
+        Ok(Baseline { entries })
+    }
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string, got: {v}"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!("line {lineno}: escapes are not supported: {v}"));
+    }
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(file: &str, rule: Rule) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline::from_findings(&[
+            finding("a.rs", Rule::D1),
+            finding("a.rs", Rule::D1),
+            finding("b.rs", Rule::D5),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries[&("a.rs".into(), "D1".into())], 2);
+    }
+
+    #[test]
+    fn new_finding_is_drift() {
+        let b = Baseline::from_findings(&[finding("a.rs", Rule::D1)]);
+        let drift = b.drift(&[finding("a.rs", Rule::D1), finding("a.rs", Rule::D1)]);
+        assert_eq!(
+            drift,
+            vec![Drift::New {
+                file: "a.rs".into(),
+                rule: "D1".into(),
+                frozen: 1,
+                actual: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn removed_finding_is_stale() {
+        let b = Baseline::from_findings(&[finding("a.rs", Rule::D2)]);
+        let drift = b.drift(&[]);
+        assert!(matches!(drift[0], Drift::Stale { .. }));
+    }
+
+    #[test]
+    fn unknown_file_in_baseline_is_stale() {
+        let b = Baseline::from_findings(&[finding("deleted.rs", Rule::D4)]);
+        let drift = b.drift(&[finding("other.rs", Rule::D4)]);
+        assert_eq!(drift.len(), 2, "one stale, one new");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[[entry]]\nfile = unquoted\n").is_err());
+        assert!(Baseline::parse("file = \"a\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"D1\"\ncount = x\n").is_err());
+        let dup = "[[entry]]\nfile = \"a\"\nrule = \"D1\"\ncount = 1\n\
+                   [[entry]]\nfile = \"a\"\nrule = \"D1\"\ncount = 2\n";
+        assert!(Baseline::parse(dup).is_err());
+    }
+
+    #[test]
+    fn empty_baseline_accepts_empty_scan() {
+        assert!(Baseline::default().drift(&[]).is_empty());
+    }
+}

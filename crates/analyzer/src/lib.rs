@@ -1,0 +1,248 @@
+//! `cutfit-analyzer` — project-specific determinism lints for the cutfit
+//! workspace.
+//!
+//! The workspace's load-bearing guarantee is that every executor mode and
+//! shard schedule produces bit-identical billed results. The compiler cannot
+//! check that, so this crate encodes the idioms that have historically broken
+//! it as five lint rules (D1–D5, see [`rules`]) and enforces them over every
+//! `crates/*/src` tree with a hand-rolled, comment/string-aware lexer
+//! ([`lexer`]) — no `syn`, no dependencies, builds first in a cold offline
+//! checkout.
+//!
+//! Pre-existing debt is frozen in `analyzer-baseline.toml` ([`baseline`]): CI
+//! fails on any *new* finding and on any *stale* baseline entry, so the debt
+//! can only shrink. Intentional exceptions are written in the source as
+//! `// analyzer: allow(Dx): reason` and are themselves validated — a typo in
+//! a suppression is a hard error, not a silent pass.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use baseline::{Baseline, Drift};
+use rules::Finding;
+
+/// Everything `check` produces, ready for rendering and for the JSON report.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Every finding in the tree, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Differences against the baseline. Empty means the check passes.
+    pub drift: Vec<Drift>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckOutcome {
+    /// True when the tree matches the baseline exactly.
+    pub fn passed(&self) -> bool {
+        self.drift.is_empty()
+    }
+
+    /// Findings in `(file, rule)` groups that drifted **new** — the ones a
+    /// developer must fix (or allow, or re-freeze) to get CI green again.
+    pub fn offending(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| {
+                self.drift.iter().any(|d| match d {
+                    Drift::New { file, rule, .. } => *file == f.file && *rule == f.rule.id(),
+                    Drift::Stale { .. } => false,
+                })
+            })
+            .collect()
+    }
+
+    /// The machine-readable report (JSON), written as a CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule.id()),
+                json_str(&f.message),
+                json_str(&f.snippet),
+                comma
+            ));
+        }
+        s.push_str("  ],\n  \"drift\": [\n");
+        for (i, d) in self.drift.iter().enumerate() {
+            let comma = if i + 1 == self.drift.len() { "" } else { "," };
+            let (kind, file, rule, frozen, actual) = match d {
+                Drift::New {
+                    file,
+                    rule,
+                    frozen,
+                    actual,
+                } => ("new", file, rule, frozen, actual),
+                Drift::Stale {
+                    file,
+                    rule,
+                    frozen,
+                    actual,
+                } => ("stale", file, rule, frozen, actual),
+            };
+            s.push_str(&format!(
+                "    {{\"kind\": {}, \"file\": {}, \"rule\": {}, \"frozen\": {}, \"actual\": {}}}{}\n",
+                json_str(kind),
+                json_str(file),
+                json_str(rule),
+                frozen,
+                actual,
+                comma
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lists the repo-relative paths of every Rust source file the analyzer
+/// scans: `crates/*/src/**.rs` plus the umbrella crate's `src/`, in sorted
+/// order so reports and baselines are deterministic.
+pub fn source_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out: Vec<String> = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        collect_crate_dirs(&crates, &mut crate_dirs)?;
+    }
+    crate_dirs.push(root.to_path_buf());
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    let mut rel: Vec<String> = out
+        .iter()
+        .filter_map(|p| {
+            Path::new(p)
+                .strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Recursively finds crate directories (directories containing `Cargo.toml`)
+/// under `crates/`, including nested ones like `crates/shims/proptest`.
+fn collect_crate_dirs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.join("Cargo.toml").is_file() {
+            out.push(p.clone());
+        }
+        collect_crate_dirs(&p, out)?;
+    }
+    Ok(())
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole tree under `root` and returns all findings, sorted.
+pub fn scan_tree(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = source_files(root)?;
+    let mut findings = Vec::new();
+    let count = files.len();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(rules::scan_file(rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((findings, count))
+}
+
+/// Runs the full check: scan, compare against the baseline, report.
+pub fn check(root: &Path, baseline: &Baseline) -> std::io::Result<CheckOutcome> {
+    let (findings, files_scanned) = scan_tree(root)?;
+    let drift = baseline.drift(&findings);
+    Ok(CheckOutcome {
+        findings,
+        drift,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn scan_tree_on_this_repo_is_clean_against_shipped_baseline() {
+        // The analyzer's own acceptance test: the checked-in baseline matches
+        // the tree. (Kept here in addition to CI so `cargo test` alone
+        // catches drift.)
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let text = std::fs::read_to_string(root.join("analyzer-baseline.toml"))
+            .expect("analyzer-baseline.toml is checked in");
+        let baseline = Baseline::parse(&text).expect("baseline parses");
+        let outcome = check(&root, &baseline).expect("scan succeeds");
+        let mut msg = String::new();
+        for d in &outcome.drift {
+            msg.push_str(&format!("{d:?}\n"));
+        }
+        for f in outcome.offending() {
+            msg.push_str(&f.render());
+            msg.push('\n');
+        }
+        assert!(outcome.passed(), "baseline drift:\n{msg}");
+    }
+}

@@ -1,0 +1,65 @@
+// D1 fixture: hash-collection iteration. Tagged lines must be reported;
+// everything else must stay silent. Scanned as a deterministic crate path
+// by the harness — this file is test data, never compiled.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Cache {
+    entries: HashMap<u64, u64>,
+}
+
+pub fn positives(m: &HashMap<u32, u32>, cache: &Cache) -> u64 {
+    let mut total = 0u64;
+    for (_, v) in m { //~ D1
+        total += u64::from(*v);
+    }
+    for k in cache.entries.keys() { //~ D1
+        total += *k;
+    }
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(3);
+    total += seen.iter().sum::<u64>(); //~ D1
+    total += m.values().map(|v| u64::from(*v)).sum::<u64>(); //~ D1
+    seen.retain(|k| *k > 1); //~ D1
+    let drained: Vec<u64> = seen.drain().collect(); //~ D1
+    total + drained.len() as u64
+}
+
+pub fn inferred_binding() -> u64 {
+    let mut lookup = HashMap::new();
+    lookup.insert(1u32, 2u64);
+    lookup.values().sum() //~ D1
+}
+
+pub fn negatives(m: &HashMap<u32, u32>, sorted: &BTreeMap<u32, u32>) -> u64 {
+    let mut total = 0u64;
+    // Keyed lookup is fine: only *iteration* is nondeterministic.
+    if let Some(v) = m.get(&1) {
+        total += u64::from(*v);
+    }
+    if m.contains_key(&2) {
+        total += 1;
+    }
+    for (_, v) in sorted {
+        total += u64::from(*v);
+    }
+    let edges: Vec<u64> = vec![1, 2, 3];
+    for e in &edges {
+        total += *e;
+    }
+    let _doc = "for x in m { } and m.iter() inside a string must not fire";
+    let _raw = r#"HashMap iteration: m.keys() in a raw string must not fire"#;
+    // m.iter() in a comment must not fire
+    /* nor m.values() in /* a nested */ block comment */
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (_, v) in &m {
+            let _ = v;
+        }
+    }
+}

@@ -1,0 +1,26 @@
+// D2 fixture: NaN-unsafe float comparisons. Scanned under a shims path so
+// only D2 applies (the unwrap calls here would otherwise also trip D5).
+pub fn positives(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D2
+    let _ = 1.0f64.partial_cmp(&2.0).expect("comparable"); //~ D2
+    xs.sort_by(|a, b| {
+        a.abs()
+            .partial_cmp(&b.abs())
+            .unwrap() //~ D2
+    });
+}
+
+pub fn negatives(xs: &mut [f64]) -> std::cmp::Ordering {
+    xs.sort_by(|a, b| cutfit_util::num::nan_last_cmp(*a, *b));
+    let _maybe = 1.0f64.partial_cmp(&2.0);
+    let _defaulted = 1.0f64
+        .partial_cmp(&2.0)
+        .unwrap_or(std::cmp::Ordering::Equal);
+    let _quoted = "a.partial_cmp(b).unwrap() in a string must not fire";
+    let _raw = r"a.partial_cmp(b).expect() in a raw string must not fire";
+    // a.partial_cmp(b).unwrap() in a comment must not fire
+    match 1.0f64.partial_cmp(&2.0) {
+        Some(o) => o,
+        None => std::cmp::Ordering::Equal,
+    }
+}

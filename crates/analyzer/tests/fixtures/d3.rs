@@ -1,0 +1,23 @@
+// D3 fixture: wall-clock and host-parallelism reads in deterministic crates.
+pub fn positives() -> u64 {
+    let _t = std::time::Instant::now(); //~ D3
+    let _s = std::time::SystemTime::now(); //~ D3
+    let _p = std::thread::available_parallelism(); //~ D3
+    0
+}
+
+pub fn negatives(configured_threads: usize) -> usize {
+    let _doc = "Instant::now() and SystemTime in a string must not fire";
+    // Instant::now() in a comment must not fire
+    /* available_parallelism() in a block comment must not fire */
+    let _allowed = std::time::Instant::now(); // analyzer: allow(D3): fixture shows a justified clock read
+    configured_threads
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_reads_in_tests_are_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

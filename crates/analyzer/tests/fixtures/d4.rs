@@ -1,0 +1,21 @@
+// D4 fixture: truncating `as` casts on id-typed names.
+pub fn positives(src: u64, dst: u64, part: u32, edge_id: u64, vertex_id: u64) -> usize {
+    let _a = src as u32; //~ D4
+    let _b = dst as usize; //~ D4
+    let _c = part as usize; //~ D4
+    let _d = edge_id as u32; //~ D4
+    vertex_id as usize //~ D4
+}
+
+pub fn negatives(src: u64, count: u64, x: u64) -> u64 {
+    let _widened = src as u64;
+    let _float = src as f64;
+    let _not_an_id = count as u32;
+    let _short_name = x as usize;
+    let _checked = cutfit_util::num::vid_u32(src);
+    let _indexed = cutfit_util::num::vid_index(src);
+    let _quoted = "src as u32 in a string must not fire";
+    // dst as usize in a comment must not fire
+    let _justified = src as u32; // analyzer: allow(D4): fixture shows a justified cast
+    count
+}

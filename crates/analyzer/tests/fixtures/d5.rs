@@ -1,0 +1,45 @@
+// D5 fixture: unwrap/expect in library code, plus the suppression grammar.
+pub fn positives(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); //~ D5
+    let b = y.expect("fixture"); //~ D5
+    a + b
+}
+
+pub fn trailing_allow(x: Option<u32>) -> u32 {
+    x.unwrap() // analyzer: allow(D5): fixture demonstrates a trailing allow
+}
+
+pub fn preceding_allow(x: Option<u32>) -> u32 {
+    // analyzer: allow(D5): fixture demonstrates an allow on the line above
+    x.unwrap()
+}
+
+pub fn wrong_rule_does_not_suppress(x: Option<u32>) -> u32 {
+    // analyzer: allow(D1): wrong rule id must not suppress D5
+    x.unwrap() //~ D5
+}
+
+pub fn malformed_allow_is_reported(x: Option<u32>) -> u32 {
+    // analyzer: allowed(D5) missing colon and reason //~ D5
+    x.unwrap() //~ D5
+}
+
+pub fn negatives(x: Option<u32>) -> u32 {
+    let _or = x.unwrap_or(0);
+    let _else = x.unwrap_or_else(|| 1);
+    let _default = x.unwrap_or_default();
+    let _quoted = "x.unwrap() in a string must not fire";
+    let _raw = r#"y.expect("msg") in a raw string must not fire"#;
+    // x.unwrap() in a comment must not fire
+    x.map_or(0, |v| v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+        let r: Result<u32, String> = Ok(2);
+        assert_eq!(r.expect("test code"), 2);
+    }
+}

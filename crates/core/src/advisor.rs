@@ -63,9 +63,9 @@ pub struct MeasuredChoice {
 /// Total ascending order for ranking metric/time values: NaN (either sign —
 /// `total_cmp` alone would put -NaN *first*) sorts after every number, so a
 /// broken measurement can never panic the sort or be crowned the winner.
-fn rank_order(a: f64, b: f64) -> std::cmp::Ordering {
-    a.is_nan().cmp(&b.is_nan()).then(a.total_cmp(&b))
-}
+/// The shared definition lives in [`cutfit_util::num::nan_last_cmp`]; this
+/// alias keeps the advisor's call sites reading as ranking.
+use cutfit_util::num::nan_last_cmp as rank_order;
 
 /// The tailoring advisor.
 ///

@@ -128,7 +128,12 @@ impl ExperimentResult {
             .filter_map(|d| {
                 self.at(num_parts)
                     .filter(|o| o.dataset == d)
-                    .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"))
+                    .min_by(|a, b| {
+                        cutfit_util::num::nan_last_cmp(
+                            a.time_s.expect("filtered"),
+                            b.time_s.expect("filtered"),
+                        )
+                    })
                     .map(|o| (d, o.partitioner, o.time_s.expect("filtered")))
             })
             .collect()

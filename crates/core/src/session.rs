@@ -31,7 +31,7 @@
 //! causes? (Per the paper's evaluation: yes, and the `workload_mixed`
 //! bench reproduces it.)
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cutfit_algorithms::triangles::{canonicalize, triangle_count_partitioned};
@@ -50,7 +50,7 @@ use crate::advisor::{Advisor, GranularityHint};
 /// (Triangle Count and k-core run on the canonicalized graph — a canonical
 /// and a raw cut of the same `(strategy, num_parts)` are different
 /// materializations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CutKey {
     /// Partitioning strategy.
     pub strategy: GraphXStrategy,
@@ -390,9 +390,12 @@ pub struct Workspace {
     advice_seconds: f64,
     /// Granularity base: coarse advice = this many partitions, fine = 2×.
     base_parts: PartId,
-    cuts: HashMap<CutKey, CutEntry>,
+    /// `BTreeMap`, not `HashMap`: lookups are keyed today, but the serving
+    /// layer is a deterministic crate — if iteration over cached cuts ever
+    /// lands (eviction, reporting), its order must already be fixed.
+    cuts: BTreeMap<CutKey, CutEntry>,
     /// Memoized advisor strategy choices per (algorithm, parts).
-    advice: HashMap<(&'static str, PartId), GraphXStrategy>,
+    advice: BTreeMap<(&'static str, PartId), GraphXStrategy>,
     /// Session-level sim: bills the initial load and repartition shuffles,
     /// with lineage accruing across the whole session.
     session: ClusterSim,
@@ -426,8 +429,8 @@ impl Workspace {
             advice_mode: AdviceMode::default(),
             advice_seconds: 0.0,
             base_parts,
-            cuts: HashMap::new(),
-            advice: HashMap::new(),
+            cuts: BTreeMap::new(),
+            advice: BTreeMap::new(),
             session,
             load_source_bytes,
             active: None,

@@ -237,8 +237,10 @@ impl ScanIndex {
                     isolated_counts[home[v] as usize] += 1;
                 }
             }
-            let mut pairs: std::collections::HashMap<(u32, u32), u64> =
-                std::collections::HashMap::new();
+            // BTreeMap: iterated below, and unordered iteration in the
+            // engine is exactly what the analyzer's D1 rule forbids.
+            let mut pairs: std::collections::BTreeMap<(u32, u32), u64> =
+                std::collections::BTreeMap::new();
             for v in 0..n as u64 {
                 let replicas = pg.routing().parts_of(v);
                 if replicas.len() > 1 {
@@ -253,8 +255,8 @@ impl ScanIndex {
                     }
                 }
             }
-            let mut bcast_pairs: Vec<((u32, u32), u64)> = pairs.into_iter().collect();
-            bcast_pairs.sort_unstable();
+            // BTreeMap iteration is already key-ascending: no sort needed.
+            let bcast_pairs: Vec<((u32, u32), u64)> = pairs.into_iter().collect();
             SetupAggregates {
                 home_counts,
                 isolated_counts,

@@ -9,6 +9,7 @@
 use crate::csr::Csr;
 use crate::graph::Graph;
 use crate::types::VertexId;
+use cutfit_util::num::vid_u32;
 
 /// Component labelling: `labels[v]` identifies the component of `v`;
 /// labels are the smallest vertex id in the component for WCC, and
@@ -22,18 +23,25 @@ pub struct ComponentLabels {
 }
 
 impl ComponentLabels {
-    /// Size of each component, keyed by label.
-    pub fn sizes(&self) -> std::collections::HashMap<VertexId, u64> {
-        let mut sizes = std::collections::HashMap::new();
-        for &l in &self.labels {
-            *sizes.entry(l).or_insert(0) += 1;
+    /// Size of each component as `(label, size)`, **ascending by label** —
+    /// a deterministic order, so downstream reports never depend on hash
+    /// iteration (analyzer rule D1).
+    pub fn sizes(&self) -> Vec<(VertexId, u64)> {
+        let mut sorted = self.labels.clone();
+        sorted.sort_unstable();
+        let mut sizes: Vec<(VertexId, u64)> = Vec::new();
+        for &l in &sorted {
+            match sizes.last_mut() {
+                Some((label, n)) if *label == l => *n += 1,
+                _ => sizes.push((l, 1)),
+            }
         }
         sizes
     }
 
     /// Size of the largest component.
     pub fn largest(&self) -> u64 {
-        self.sizes().values().copied().max().unwrap_or(0)
+        self.sizes().iter().map(|&(_, n)| n).max().unwrap_or(0)
     }
 }
 
@@ -85,7 +93,7 @@ pub fn weakly_connected_components(graph: &Graph) -> ComponentLabels {
     let n = graph.num_vertices() as usize;
     let mut uf = UnionFind::new(n);
     for e in graph.edges() {
-        uf.union(e.src as u32, e.dst as u32);
+        uf.union(vid_u32(e.src), vid_u32(e.dst));
     }
     // Map each root to the minimum vertex id in its set.
     let mut min_of_root: Vec<VertexId> = (0..n as u64).collect();
@@ -94,16 +102,17 @@ pub fn weakly_connected_components(graph: &Graph) -> ComponentLabels {
         min_of_root[r] = min_of_root[r].min(v as u64);
     }
     let mut labels = vec![0 as VertexId; n];
-    let mut roots = std::collections::HashSet::new();
+    let mut count = 0u64;
     for v in 0..n as u32 {
         let r = uf.find(v);
         labels[v as usize] = min_of_root[r as usize];
-        roots.insert(r);
+        // Each set has exactly one self-rooted member: count those instead
+        // of collecting roots into an (unordered) set.
+        if r == v {
+            count += 1;
+        }
     }
-    ComponentLabels {
-        labels,
-        count: roots.len() as u64,
-    }
+    ComponentLabels { labels, count }
 }
 
 /// Strongly connected components via iterative Tarjan.

@@ -27,7 +27,7 @@ use crate::strategy::{assign_pure, assign_source_with, Partitioner};
 /// assert_eq!(metrics.edges, 3);
 /// assert_eq!(metrics.cut + metrics.non_cut, 4, "every endpoint vertex is accounted");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GraphXStrategy {
     /// `RVC`: hash of the ordered (src, dst) pair — collocates parallel
     /// same-direction edges; a random vertex cut.

@@ -18,10 +18,9 @@
 //! metrics and the engine run on it unchanged. See the
 //! `edge_cuts_imbalance_power_law_graphs` test and `ablation_streaming`.
 
-use std::collections::HashMap;
-
 use cutfit_graph::types::PartId;
 use cutfit_graph::Graph;
+use cutfit_util::num::vid_u32;
 
 use crate::strategy::Partitioner;
 
@@ -52,25 +51,48 @@ struct Level {
     projection: Vec<u32>,
 }
 
-/// Weighted undirected graph used during coarsening.
+/// Weighted undirected graph used during coarsening. Adjacency lists are
+/// **sorted by neighbour id with duplicates merged** — every loop over a
+/// vertex's neighbours visits them in one fixed order, so matching,
+/// initial partitioning, and refinement are deterministic by construction
+/// instead of by careful tie-breaking over `HashMap` iteration (rule D1).
 struct WeightedGraph {
-    /// Adjacency with accumulated edge weights (no self entries).
-    adj: Vec<HashMap<u32, u64>>,
+    /// Sorted `(neighbour, accumulated weight)` lists (no self entries).
+    adj: Vec<Vec<(u32, u64)>>,
     /// Vertex weights (number of original vertices contracted).
     vweight: Vec<u64>,
+}
+
+/// Sorts each raw neighbour list and merges duplicate entries by summing
+/// their weights — the one normalization step all adjacency builds share.
+fn normalize_adj(adj: &mut [Vec<(u32, u64)>]) {
+    for list in adj.iter_mut() {
+        list.sort_unstable_by_key(|&(w, _)| w);
+        let mut out = 0usize;
+        for i in 0..list.len() {
+            if out > 0 && list[out - 1].0 == list[i].0 {
+                list[out - 1].1 += list[i].1;
+            } else {
+                list[out] = list[i];
+                out += 1;
+            }
+        }
+        list.truncate(out);
+    }
 }
 
 impl WeightedGraph {
     fn from_graph(graph: &Graph) -> Self {
         let n = graph.num_vertices() as usize;
-        let mut adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
         for e in graph.edges() {
             if e.src == e.dst {
                 continue;
             }
-            *adj[e.src as usize].entry(e.dst as u32).or_insert(0) += 1;
-            *adj[e.dst as usize].entry(e.src as u32).or_insert(0) += 1;
+            adj[e.src as usize].push((vid_u32(e.dst), 1));
+            adj[e.dst as usize].push((vid_u32(e.src), 1));
         }
+        normalize_adj(&mut adj);
         Self {
             adj,
             vweight: vec![1; n],
@@ -98,9 +120,9 @@ impl WeightedGraph {
             }
             let heaviest = self.adj[v as usize]
                 .iter()
-                .filter(|&(&w, _)| mate[w as usize] == UNMATCHED && w != v)
-                .max_by_key(|&(&w, &wt)| (wt, std::cmp::Reverse(self.vweight[w as usize]), w));
-            if let Some((&w, _)) = heaviest {
+                .filter(|&&(w, _)| mate[w as usize] == UNMATCHED && w != v)
+                .max_by_key(|&&(w, wt)| (wt, std::cmp::Reverse(self.vweight[w as usize]), w));
+            if let Some(&(w, _)) = heaviest {
                 mate[v as usize] = w;
                 mate[w as usize] = v;
                 matched_pairs += 1;
@@ -128,21 +150,22 @@ impl WeightedGraph {
         }
 
         let mut coarse = WeightedGraph {
-            adj: vec![HashMap::new(); next as usize],
+            adj: vec![Vec::new(); next as usize],
             vweight: vec![0; next as usize],
         };
         for v in 0..n {
             let cv = projection[v] as usize;
             coarse.vweight[cv] += self.vweight[v];
-            for (&w, &wt) in &self.adj[v] {
+            for &(w, wt) in &self.adj[v] {
                 let cw = projection[w as usize];
                 if cw as usize != cv && (w as usize) > v {
                     // Count each undirected fine edge once.
-                    *coarse.adj[cv].entry(cw).or_insert(0) += wt;
-                    *coarse.adj[cw as usize].entry(cv as u32).or_insert(0) += wt;
+                    coarse.adj[cv].push((cw, wt));
+                    coarse.adj[cw as usize].push((cv as u32, wt));
                 }
             }
         }
+        normalize_adj(&mut coarse.adj);
         Some((coarse, Level { projection }))
     }
 
@@ -160,7 +183,7 @@ impl WeightedGraph {
             let total: u64 = loads.iter().sum::<u64>() + self.vweight[v as usize];
             let cap = (total as f64 / num_parts as f64 * 1.25).ceil() as u64;
             let mut gains = vec![0u64; num_parts as usize];
-            for (&w, &wt) in &self.adj[v as usize] {
+            for &(w, wt) in &self.adj[v as usize] {
                 if assigned[w as usize] {
                     gains[part[w as usize] as usize] += wt;
                 }
@@ -189,18 +212,32 @@ impl WeightedGraph {
         for (v, &p) in part.iter().enumerate() {
             loads[p as usize] += self.vweight[v];
         }
+        // Dense per-part gain buffer, reused across vertices and reset via
+        // the touched list (edge weights are never zero, so "weight > 0"
+        // and "touched this vertex" coincide).
+        let mut weight_to = vec![0u64; num_parts as usize];
+        let mut touched: Vec<PartId> = Vec::new();
         for v in 0..self.len() {
             let current = part[v];
-            let mut weight_to: HashMap<PartId, u64> = HashMap::new();
-            for (&w, &wt) in &self.adj[v] {
-                *weight_to.entry(part[w as usize]).or_insert(0) += wt;
+            for &p in &touched {
+                weight_to[p as usize] = 0;
             }
-            let internal = weight_to.get(&current).copied().unwrap_or(0);
-            let best = weight_to
+            touched.clear();
+            for &(w, wt) in &self.adj[v] {
+                let p = part[w as usize];
+                if weight_to[p as usize] == 0 {
+                    touched.push(p);
+                }
+                weight_to[p as usize] += wt;
+            }
+            touched.sort_unstable();
+            let internal = weight_to[current as usize];
+            let best = touched
                 .iter()
-                .filter(|&(&p, _)| p != current && loads[p as usize] + self.vweight[v] <= cap)
-                .max_by_key(|&(&p, &wt)| (wt, std::cmp::Reverse(p)));
-            if let Some((&p, &wt)) = best {
+                .filter(|&&p| p != current && loads[p as usize] + self.vweight[v] <= cap)
+                .max_by_key(|&&p| (weight_to[p as usize], std::cmp::Reverse(p)));
+            if let Some(&p) = best {
+                let wt = weight_to[p as usize];
                 if wt > internal {
                     loads[current as usize] -= self.vweight[v];
                     loads[p as usize] += self.vweight[v];
@@ -270,20 +307,21 @@ impl MultilevelEdgeCut {
 fn contract_with(g: &WeightedGraph, projection: &[u32]) -> (WeightedGraph, ()) {
     let next = projection.iter().copied().max().map_or(0, |m| m + 1);
     let mut coarse = WeightedGraph {
-        adj: vec![HashMap::new(); next as usize],
+        adj: vec![Vec::new(); next as usize],
         vweight: vec![0; next as usize],
     };
     for v in 0..g.len() {
         let cv = projection[v] as usize;
         coarse.vweight[cv] += g.vweight[v];
-        for (&w, &wt) in &g.adj[v] {
+        for &(w, wt) in &g.adj[v] {
             let cw = projection[w as usize];
             if cw as usize != cv && (w as usize) > v {
-                *coarse.adj[cv].entry(cw).or_insert(0) += wt;
-                *coarse.adj[cw as usize].entry(cv as u32).or_insert(0) += wt;
+                coarse.adj[cv].push((cw, wt));
+                coarse.adj[cw as usize].push((cv as u32, wt));
             }
         }
     }
+    normalize_adj(&mut coarse.adj);
     (coarse, ())
 }
 

@@ -49,10 +49,12 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 }
 
 /// Fractional ranks with ties receiving the average of their positions
-/// (1-based, as in the classical definition).
+/// (1-based, as in the classical definition). NaN observations sort last
+/// under the shared total order ([`cutfit_util::num::nan_last_cmp`]) rather
+/// than panicking the sort.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in rank input"));
+    idx.sort_by(|&a, &b| cutfit_util::num::nan_last_cmp(xs[a], xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -115,6 +117,15 @@ mod tests {
     fn ranks_handle_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_with_nan_do_not_panic_and_rank_nan_last() {
+        // Regression: partial_cmp().expect() used to abort here. Under the
+        // shared NaN-last order the finite values keep their exact ranks.
+        let r = ranks(&[f64::NAN, 10.0, 30.0, 20.0]);
+        assert_eq!(r[1..], [1.0, 3.0, 2.0]);
+        assert_eq!(r[0], 4.0, "NaN takes the last rank");
     }
 
     #[test]

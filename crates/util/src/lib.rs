@@ -12,7 +12,9 @@
 //! only on `(len, threads)`, with every output index owned by exactly one
 //! worker, so the engine's supersteps and the partitioners' edge scans are
 //! bit-identical at any thread count. [`num`] holds exact integer arithmetic
-//! (ceiling square root) for the places where an `f64` round-trip would be
+//! (ceiling square root), the checked id-narrowing helpers, and the NaN-last
+//! total float order — the conventions `cutfit-analyzer` enforces statically
+//! for the places where an `f64` round-trip or a bare `as` cast would be
 //! lossy.
 
 pub mod exec;

@@ -184,9 +184,12 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.next_f64() * total;
+        // Cumulative weights are sums of positive terms: never NaN, never
+        // -0.0, so the NaN-last total order agrees with the numeric order
+        // while keeping the search panic-free (analyzer rule D2).
         match self
             .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+            .binary_search_by(|c| crate::num::nan_last_cmp(*c, u))
         {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
