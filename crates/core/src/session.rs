@@ -449,7 +449,24 @@ impl Workspace {
         cluster: ClusterConfig,
         executor: ExecutorMode,
     ) -> Result<Self, cutfit_graph::io::ParseError> {
-        let source = cutfit_graph::BinaryFileSource::open(path)?;
+        // Auto-sized decode workers with a modest read-ahead window: the
+        // chunk stream is bit-identical to sequential decode, so the only
+        // effect is overlapping container I/O with checksum+varint work.
+        let source = cutfit_graph::BinaryFileSource::open(path)?
+            .with_decode_threads(0)
+            .with_read_ahead(8);
+        Self::from_binary_source(source, cluster, executor)
+    }
+
+    /// Creates a session over an already-opened (and possibly
+    /// pipeline-configured) [`cutfit_graph::BinaryFileSource`]. The load is
+    /// billed from the container's bytes on disk, exactly like
+    /// [`Workspace::from_binary_file`].
+    pub fn from_binary_source(
+        source: cutfit_graph::BinaryFileSource,
+        cluster: ClusterConfig,
+        executor: ExecutorMode,
+    ) -> Result<Self, cutfit_graph::io::ParseError> {
         let file_bytes = source.file_bytes();
         let graph = cutfit_graph::source::materialize(&source)?;
         let mut ws = Self::new(graph, cluster, executor);

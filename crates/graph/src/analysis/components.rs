@@ -162,9 +162,10 @@ pub fn strongly_connected_components(graph: &Graph) -> ComponentLabels {
                     lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
-                    // v roots an SCC: pop it off the Tarjan stack.
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
+                    // v roots an SCC: pop it off the Tarjan stack. Tarjan's
+                    // invariant guarantees v is on the stack, so the loop
+                    // always terminates via the `w == v` break.
+                    while let Some(w) = stack.pop() {
                         on_stack[w as usize] = false;
                         labels[w as usize] = count;
                         if w == v {

@@ -33,8 +33,26 @@
 //!
 //! Every failure mode maps to a typed [`ParseError`] carrying the byte
 //! offset where the file stopped making sense — truncation, foreign magic,
-//! future versions, checksum mismatches, and payloads that over- or
-//! under-run their declared edge count all return errors, never panics.
+//! future versions, checksum mismatches, payloads that over- or under-run
+//! their declared edge count, and trailing data after the final block all
+//! return errors, never panics.
+//!
+//! ## Reading is split into two halves
+//!
+//! * [`RawBlockReader`] walks the length-prefixed frames **sequentially and
+//!   cheaply**: it reads bytes and validates frame bookkeeping (nonzero
+//!   counts, the running edge total against the header, trailing data)
+//!   but never touches a checksum or a varint.
+//! * [`decode_block`] / [`decode_block_into`] are **pure functions** over
+//!   one [`RawBlock`]: verify the payload checksum, decode the varints,
+//!   range-check the endpoints. Blocks decode independently (per-block
+//!   delta reset), so this is the unit of parallel work — a
+//!   [`RawBlock`] carries its absolute byte offset, and every error a
+//!   worker thread can produce still names the exact file position.
+//!
+//! [`scan_binary`] composes the two sequentially; the pipelined
+//! `BinaryFileSource` fans [`decode_block`] out across worker threads and
+//! re-serializes the results in frame order.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -172,6 +190,29 @@ pub fn write_binary_file<P: AsRef<Path>>(graph: &Graph, path: P) -> std::io::Res
     write_binary(graph, BufWriter::new(File::create(path)?))
 }
 
+/// Little-endian `u32` at a fixed offset of a buffer the caller already
+/// sized — explicit byte indexing instead of `try_into().unwrap()`, so the
+/// decode path carries no panicking conversions.
+#[inline]
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Little-endian `u64` at a fixed offset, same contract as [`le_u32`].
+#[inline]
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        b[at],
+        b[at + 1],
+        b[at + 2],
+        b[at + 3],
+        b[at + 4],
+        b[at + 5],
+        b[at + 6],
+        b[at + 7],
+    ])
+}
+
 /// Reads exactly `buf.len()` bytes or reports [`ParseError::Truncated`] at
 /// `offset` (the file position where the read began).
 fn read_exact_at<R: Read>(r: &mut R, buf: &mut [u8], offset: u64) -> Result<(), ParseError> {
@@ -200,14 +241,14 @@ pub fn read_header<R: Read>(r: &mut R) -> Result<BinHeader, ParseError> {
         found.copy_from_slice(&header[..8]);
         return Err(ParseError::BadMagic { found });
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let version = le_u32(&header, 8);
     if version != VERSION {
         return Err(ParseError::UnsupportedVersion {
             found: version,
             supported: VERSION,
         });
     }
-    let stored = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    let stored = le_u64(&header, 32);
     let computed = fnv1a64(&header[..32]);
     if stored != computed {
         return Err(ParseError::ChecksumMismatch {
@@ -216,7 +257,7 @@ pub fn read_header<R: Read>(r: &mut R) -> Result<BinHeader, ParseError> {
             computed,
         });
     }
-    let block_edges = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    let block_edges = le_u32(&header, 12);
     if block_edges == 0 {
         return Err(ParseError::Corrupt {
             offset: 12,
@@ -226,102 +267,210 @@ pub fn read_header<R: Read>(r: &mut R) -> Result<BinHeader, ParseError> {
     Ok(BinHeader {
         version,
         block_edges,
-        num_vertices: u64::from_le_bytes(header[16..24].try_into().unwrap()),
-        num_edges: u64::from_le_bytes(header[24..32].try_into().unwrap()),
+        num_vertices: le_u64(&header, 16),
+        num_edges: le_u64(&header, 24),
     })
 }
 
-/// Streams every block through `sink`, reusing one decode buffer: peak
-/// resident edge memory is one block, not the whole graph. Returns the
-/// validated header. This is the bounded-memory core that
-/// [`read_binary`] and `BinaryFileSource` both drive.
-pub fn scan_binary<R: Read>(
-    mut r: R,
-    sink: &mut dyn FnMut(&[Edge]),
-) -> Result<BinHeader, ParseError> {
-    let header = read_header(&mut r)?;
-    let mut offset = HEADER_LEN;
-    let mut remaining = header.num_edges;
-    let mut payload: Vec<u8> = Vec::new();
-    let mut edges: Vec<Edge> = Vec::new();
-    while remaining > 0 {
-        let block_offset = offset;
+/// One container frame exactly as it sits on disk: undecoded payload bytes
+/// plus the frame bookkeeping. Self-contained and `Send`, so a block can be
+/// shipped to a decode worker; `offset` is the absolute file position of
+/// the frame's 8-byte header, which keeps every decode-side error
+/// offset-accurate no matter which thread hits it.
+#[derive(Debug, Clone)]
+pub struct RawBlock {
+    /// Absolute byte offset of the frame header (edge_count, payload_len).
+    pub offset: u64,
+    /// Edges the frame declares (validated nonzero and within the file's
+    /// remaining total by [`RawBlockReader`]).
+    pub edge_count: u32,
+    /// The encoded delta+varint payload — checksum not yet verified.
+    pub payload: Vec<u8>,
+    /// FNV-1a-64 the writer stored for the payload.
+    pub stored_checksum: u64,
+}
+
+/// Sequential, decode-free frame reader: the cheap half of the split read
+/// path. Validates the header at construction, then yields one
+/// [`RawBlock`] per call — frame-level bookkeeping only (nonzero counts,
+/// the running edge total against the header's `num_edges`, truncation,
+/// trailing data), no checksums, no varints. Feed the blocks through
+/// [`decode_block`] on any thread.
+pub struct RawBlockReader<R> {
+    r: R,
+    header: BinHeader,
+    offset: u64,
+    /// Edges the remaining frames must still account for; reaching zero
+    /// with bytes left in the stream is a typed error, not a silent stop.
+    remaining: u64,
+}
+
+impl<R: Read> RawBlockReader<R> {
+    /// Reads and validates the container header, positioning the reader at
+    /// the first frame.
+    pub fn new(mut r: R) -> Result<Self, ParseError> {
+        let header = read_header(&mut r)?;
+        Ok(RawBlockReader {
+            r,
+            header,
+            offset: HEADER_LEN,
+            remaining: header.num_edges,
+        })
+    }
+
+    /// The validated container header.
+    pub fn header(&self) -> BinHeader {
+        self.header
+    }
+
+    /// Reads the next frame, or `None` once the header's edge total is
+    /// exactly consumed and the stream is at a clean end.
+    ///
+    /// The block-sum cross-check lives here: a frame declaring more edges
+    /// than remain is [`ParseError::Corrupt`], a stream that ends before
+    /// the total is reached is [`ParseError::Truncated`] (from the failed
+    /// frame read), and bytes after the final block — an extra trailing
+    /// block, or any other junk — are [`ParseError::Corrupt`] at the
+    /// offending offset instead of a silent success.
+    pub fn next_block(&mut self) -> Result<Option<RawBlock>, ParseError> {
+        if self.remaining == 0 {
+            let mut probe = [0u8; 1];
+            loop {
+                match self.r.read(&mut probe) {
+                    Ok(0) => return Ok(None),
+                    Ok(_) => {
+                        return Err(ParseError::Corrupt {
+                            offset: self.offset,
+                            what: format!(
+                                "trailing data after the header's {} edges were delivered",
+                                self.header.num_edges
+                            ),
+                        })
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ParseError::Io(e)),
+                }
+            }
+        }
+        let block_offset = self.offset;
         let mut fixed = [0u8; 8];
-        read_exact_at(&mut r, &mut fixed, offset)?;
-        offset += 8;
-        let edge_count = u32::from_le_bytes(fixed[..4].try_into().unwrap());
-        let payload_len = u32::from_le_bytes(fixed[4..8].try_into().unwrap());
+        read_exact_at(&mut self.r, &mut fixed, self.offset)?;
+        self.offset += 8;
+        let edge_count = le_u32(&fixed, 0);
+        let payload_len = le_u32(&fixed, 4);
         if edge_count == 0 {
             return Err(ParseError::Corrupt {
                 offset: block_offset,
                 what: "block declares zero edges".into(),
             });
         }
-        if edge_count as u64 > remaining {
+        if edge_count as u64 > self.remaining {
             return Err(ParseError::Corrupt {
                 offset: block_offset,
                 what: format!(
-                    "block declares {edge_count} edges but only {remaining} remain of \
+                    "block declares {edge_count} edges but only {} remain of \
                      the header's {}",
-                    header.num_edges
+                    self.remaining, self.header.num_edges
                 ),
             });
         }
-        payload.clear();
-        payload.resize(payload_len as usize, 0);
-        read_exact_at(&mut r, &mut payload, offset)?;
-        let payload_offset = offset;
-        offset += payload_len as u64;
+        let mut payload = vec![0u8; payload_len as usize];
+        read_exact_at(&mut self.r, &mut payload, self.offset)?;
+        self.offset += payload_len as u64;
         let mut check = [0u8; 8];
-        read_exact_at(&mut r, &mut check, offset)?;
-        offset += 8;
-        let stored = u64::from_le_bytes(check);
-        let computed = fnv1a64(&payload);
-        if stored != computed {
-            return Err(ParseError::ChecksumMismatch {
-                offset: payload_offset + payload_len as u64,
-                stored,
-                computed,
+        read_exact_at(&mut self.r, &mut check, self.offset)?;
+        self.offset += 8;
+        self.remaining -= edge_count as u64;
+        Ok(Some(RawBlock {
+            offset: block_offset,
+            edge_count,
+            payload,
+            stored_checksum: u64::from_le_bytes(check),
+        }))
+    }
+}
+
+/// Verifies and decodes one raw block into a fresh vector — the pure,
+/// thread-safe unit of parallel decode work. See [`decode_block_into`] for
+/// the buffer-reusing variant the sequential path drives.
+pub fn decode_block(header: &BinHeader, block: &RawBlock) -> Result<Vec<Edge>, ParseError> {
+    let mut edges = Vec::with_capacity(block.edge_count as usize);
+    decode_block_into(header, block, &mut edges)?;
+    Ok(edges)
+}
+
+/// [`decode_block`] into a caller-owned buffer (cleared first): verifies
+/// the payload checksum, decodes the zigzag-varint deltas, and range-checks
+/// every endpoint against the header's vertex count. Pure — no I/O, no
+/// shared state — and every error carries the absolute byte offset derived
+/// from `block.offset`, so a failure inside a worker thread reads exactly
+/// like one from the sequential path.
+pub fn decode_block_into(
+    header: &BinHeader,
+    block: &RawBlock,
+    edges: &mut Vec<Edge>,
+) -> Result<(), ParseError> {
+    let payload = &block.payload;
+    let payload_offset = block.offset + 8;
+    let computed = fnv1a64(payload);
+    if block.stored_checksum != computed {
+        return Err(ParseError::ChecksumMismatch {
+            offset: payload_offset + payload.len() as u64,
+            stored: block.stored_checksum,
+            computed,
+        });
+    }
+    edges.clear();
+    edges.reserve(block.edge_count as usize);
+    let mut pos = 0usize;
+    let mut prev_src: VertexId = 0;
+    for _ in 0..block.edge_count {
+        let (Some(ds), Some(dd)) = (
+            read_uvarint(payload, &mut pos),
+            read_uvarint(payload, &mut pos),
+        ) else {
+            return Err(ParseError::Corrupt {
+                offset: payload_offset + pos as u64,
+                what: "payload ends mid-edge".into(),
             });
-        }
-        edges.clear();
-        edges.reserve(edge_count as usize);
-        let mut pos = 0usize;
-        let mut prev_src: VertexId = 0;
-        for _ in 0..edge_count {
-            let (Some(ds), Some(dd)) = (
-                read_uvarint(&payload, &mut pos),
-                read_uvarint(&payload, &mut pos),
-            ) else {
-                return Err(ParseError::Corrupt {
-                    offset: payload_offset + pos as u64,
-                    what: "payload ends mid-edge".into(),
-                });
-            };
-            let src = prev_src.wrapping_add(unzigzag(ds) as u64);
-            let dst = src.wrapping_add(unzigzag(dd) as u64);
-            if src >= header.num_vertices || dst >= header.num_vertices {
-                return Err(ParseError::Corrupt {
-                    offset: payload_offset + pos as u64,
-                    what: format!(
-                        "edge ({src}, {dst}) outside the header's {} vertices",
-                        header.num_vertices
-                    ),
-                });
-            }
-            edges.push(Edge::new(src, dst));
-            prev_src = src;
-        }
-        if pos != payload.len() {
+        };
+        let src = prev_src.wrapping_add(unzigzag(ds) as u64);
+        let dst = src.wrapping_add(unzigzag(dd) as u64);
+        if src >= header.num_vertices || dst >= header.num_vertices {
             return Err(ParseError::Corrupt {
                 offset: payload_offset + pos as u64,
                 what: format!(
-                    "{} payload bytes left after {edge_count} edges",
-                    payload.len() - pos
+                    "edge ({src}, {dst}) outside the header's {} vertices",
+                    header.num_vertices
                 ),
             });
         }
-        remaining -= edge_count as u64;
+        edges.push(Edge::new(src, dst));
+        prev_src = src;
+    }
+    if pos != payload.len() {
+        return Err(ParseError::Corrupt {
+            offset: payload_offset + pos as u64,
+            what: format!(
+                "{} payload bytes left after {} edges",
+                payload.len() - pos,
+                block.edge_count
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Streams every block through `sink`, reusing one decode buffer: peak
+/// resident edge memory is one block, not the whole graph. Returns the
+/// validated header. This is the bounded-memory core that
+/// [`read_binary`] and `BinaryFileSource` both drive.
+pub fn scan_binary<R: Read>(r: R, sink: &mut dyn FnMut(&[Edge])) -> Result<BinHeader, ParseError> {
+    let mut reader = RawBlockReader::new(r)?;
+    let header = reader.header();
+    let mut edges: Vec<Edge> = Vec::new();
+    while let Some(block) = reader.next_block()? {
+        decode_block_into(&header, &block, &mut edges)?;
         sink(&edges);
     }
     Ok(header)
@@ -486,6 +635,93 @@ mod tests {
             ParseError::Corrupt { offset, .. } => assert_eq!(offset, HEADER_LEN),
             e => panic!("unexpected: {e}"),
         }
+    }
+
+    #[test]
+    fn extra_trailing_block_is_corrupt_not_silent() {
+        // A container whose blocks sum to the header's edge count but that
+        // carries extra bytes after the final block must fail the
+        // cross-check, not succeed on a prefix.
+        let g = sample();
+        let mut bytes = Vec::new();
+        write_binary_with(&g, &mut bytes, 2).unwrap();
+        let clean_len = bytes.len() as u64;
+        let spare_block = bytes[HEADER_LEN as usize..].to_vec();
+        bytes.extend_from_slice(&spare_block);
+        match read_binary(&bytes[..]).unwrap_err() {
+            ParseError::Corrupt { offset, what } => {
+                assert_eq!(offset, clean_len);
+                assert!(what.contains("trailing data"), "{what}");
+            }
+            e => panic!("unexpected: {e}"),
+        }
+    }
+
+    #[test]
+    fn missing_last_block_reports_truncation() {
+        // Header promises 5 edges but the file ends after the first
+        // 2-edge blocks: the sum cross-check surfaces as a typed
+        // truncation at the point where the next frame should begin.
+        let g = sample();
+        let mut bytes = Vec::new();
+        write_binary_with(&g, &mut bytes, 2).unwrap();
+        // Walk the frames to find where the last block starts.
+        let mut reader = RawBlockReader::new(&bytes[..]).unwrap();
+        let mut last_start = HEADER_LEN;
+        while let Some(block) = reader.next_block().unwrap() {
+            last_start = block.offset;
+        }
+        match read_binary(&bytes[..last_start as usize]).unwrap_err() {
+            ParseError::Truncated { offset } => assert_eq!(offset, last_start),
+            e => panic!("unexpected: {e}"),
+        }
+    }
+
+    #[test]
+    fn raw_reader_plus_decode_block_equals_scan() {
+        let g = sample();
+        let bytes = encode(&g);
+        let mut reader = RawBlockReader::new(&bytes[..]).unwrap();
+        let header = reader.header();
+        let mut decoded: Vec<Edge> = Vec::new();
+        while let Some(block) = reader.next_block().unwrap() {
+            assert!(block.edge_count > 0);
+            decoded.extend(decode_block(&header, &block).unwrap());
+        }
+        assert_eq!(decoded, g.edges());
+    }
+
+    #[test]
+    fn decode_block_error_carries_the_absolute_offset() {
+        // Corrupt one payload byte of the second block, then decode the
+        // raw blocks out of order — the checksum error must still name the
+        // on-disk offset of the corrupted block, proving the offset rides
+        // with the block and not with reader state.
+        let g = sample();
+        let mut bytes = Vec::new();
+        write_binary_with(&g, &mut bytes, 2).unwrap();
+        let mut reader = RawBlockReader::new(&bytes[..]).unwrap();
+        let header = reader.header();
+        let mut blocks = Vec::new();
+        while let Some(block) = reader.next_block().unwrap() {
+            blocks.push(block);
+        }
+        assert!(blocks.len() >= 2, "sample spans multiple blocks");
+        blocks[1].payload[0] ^= 0xff;
+        let expected_offset = blocks[1].offset + 8 + blocks[1].payload.len() as u64;
+        blocks.reverse(); // order must not matter for a pure decoder
+        let mut failures = 0;
+        for block in &blocks {
+            match decode_block(&header, block) {
+                Ok(edges) => assert!(!edges.is_empty()),
+                Err(ParseError::ChecksumMismatch { offset, .. }) => {
+                    assert_eq!(offset, expected_offset);
+                    failures += 1;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(failures, 1);
     }
 
     #[test]

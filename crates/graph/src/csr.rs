@@ -368,12 +368,13 @@ impl CompressedCsr {
         &self.data[lo..hi]
     }
 
-    /// Degree of `v`: one varint decode.
+    /// Degree of `v`: one varint decode. Blocks are validated at build
+    /// time; a malformed block reads as degree 0 rather than panicking.
     #[inline]
     pub fn degree(&self, v: VertexId) -> u64 {
         let block = self.block(v);
         let mut pos = 0;
-        crate::binfmt::read_uvarint(block, &mut pos).expect("degree varint is always present")
+        crate::binfmt::read_uvarint(block, &mut pos).unwrap_or(0)
     }
 
     /// Heap bytes held by this representation (offset array + varint
@@ -402,8 +403,12 @@ impl Iterator for CompressedNeighbors<'_> {
             return None;
         }
         self.remaining -= 1;
-        let gap = crate::binfmt::read_uvarint(self.block, &mut self.pos)
-            .expect("block length was validated at build time");
+        // Block length was validated at build time; on a malformed block
+        // the iterator ends early instead of panicking.
+        let Some(gap) = crate::binfmt::read_uvarint(self.block, &mut self.pos) else {
+            self.remaining = 0;
+            return None;
+        };
         self.prev = if self.first { gap } else { self.prev + gap };
         self.first = false;
         Some(self.prev)
@@ -434,8 +439,7 @@ impl Neighbors for CompressedCsr {
     fn neighbors_iter(&self, v: VertexId) -> Self::Iter<'_> {
         let block = self.block(v);
         let mut pos = 0;
-        let remaining =
-            crate::binfmt::read_uvarint(block, &mut pos).expect("degree varint is always present");
+        let remaining = crate::binfmt::read_uvarint(block, &mut pos).unwrap_or(0);
         CompressedNeighbors {
             block,
             pos,
