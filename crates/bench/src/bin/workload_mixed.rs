@@ -62,9 +62,11 @@ fn main() {
             "provisioning",
             "total",
             "switches",
+            "frontier",
         ])
         .aligns(&[
             Align::Left,
+            Align::Right,
             Align::Right,
             Align::Right,
             Align::Right,
@@ -86,6 +88,28 @@ fn main() {
                     .map(human_seconds)
                     .unwrap_or_else(|| "fail".to_string())
             };
+            // Frontier health across the workload's successful jobs: the
+            // superstep-weighted mean active fraction, plus how many
+            // supersteps ran with under 1% of vertices active — the tail
+            // the sparse scan path turns into O(active) work.
+            let profiles: Vec<_> = report
+                .jobs
+                .iter()
+                .filter_map(|j| j.result.as_ref().ok())
+                .map(|r| r.frontier_profile())
+                .filter(|p| p.supersteps > 0)
+                .collect();
+            let steps: u64 = profiles.iter().map(|p| p.supersteps).sum();
+            let frontier = if steps == 0 {
+                "-".to_string()
+            } else {
+                let active_sum: f64 = profiles
+                    .iter()
+                    .map(|p| p.mean_active_fraction * p.supersteps as f64)
+                    .sum();
+                let low: u64 = profiles.iter().map(|p| p.low_active_supersteps).sum();
+                format!("{:.0}% act, {low} lo", 100.0 * active_sum / steps as f64)
+            };
             t.row([
                 policy,
                 time_of("PR"),
@@ -96,6 +120,7 @@ fn main() {
                 human_seconds(report.provisioning_seconds()),
                 human_seconds(report.total_seconds()),
                 report.cut_switches().to_string(),
+                frontier,
             ]);
         };
 

@@ -6,6 +6,8 @@
 //! quantities per partition and per executor pair so the simulator can bill
 //! them under a cost model.
 
+use cutfit_util::num::part_index;
+
 /// Work performed inside a single partition during one superstep.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PartWork {
@@ -31,6 +33,11 @@ pub struct SuperstepLedger {
     exec_bytes: Vec<u64>,
     /// Message counts, same layout (allocated together with `exec_bytes`).
     exec_msgs: Vec<u64>,
+    /// Frontier telemetry for this superstep, recorded by engines that track
+    /// vertex activity: `(active_vertices, total_vertices, scanned_edges,
+    /// total_edges)`. `None` for supersteps with no frontier semantics
+    /// (setup, repartition shuffles).
+    frontier: Option<(u64, u64, u64, u64)>,
 }
 
 impl SuperstepLedger {
@@ -42,6 +49,7 @@ impl SuperstepLedger {
             executors,
             exec_bytes: Vec::new(),
             exec_msgs: Vec::new(),
+            frontier: None,
         }
     }
 
@@ -57,24 +65,47 @@ impl SuperstepLedger {
         self.parts.fill(PartWork::default());
         self.exec_bytes.fill(0);
         self.exec_msgs.fill(0);
+        self.frontier = None;
     }
 
     /// Records `n` edge scans in `part`.
     #[inline]
     pub fn edge_scans(&mut self, part: u32, n: u64) {
-        self.parts[part as usize].edge_scans += n;
+        self.parts[part_index(part)].edge_scans += n;
     }
 
     /// Records `n` vertex operations in `part`.
     #[inline]
     pub fn vertex_ops(&mut self, part: u32, n: u64) {
-        self.parts[part as usize].vertex_ops += n;
+        self.parts[part_index(part)].vertex_ops += n;
     }
 
     /// Records `bytes` of local state processing in `part`.
     #[inline]
     pub fn local_bytes(&mut self, part: u32, bytes: u64) {
-        self.parts[part as usize].local_bytes += bytes;
+        self.parts[part_index(part)].local_bytes += bytes;
+    }
+
+    /// Records this superstep's frontier telemetry: how many vertices were
+    /// active when the scan started and how many edges the scan actually
+    /// visited, against the graph's totals. Every quantity is an exact
+    /// integer that is identical across scan/executor modes, so the derived
+    /// profile never perturbs report equality. Overwrites any earlier record
+    /// for the same superstep; cleared by [`SuperstepLedger::reset`].
+    #[inline]
+    pub fn record_frontier(
+        &mut self,
+        active_vertices: u64,
+        total_vertices: u64,
+        scanned_edges: u64,
+        total_edges: u64,
+    ) {
+        self.frontier = Some((active_vertices, total_vertices, scanned_edges, total_edges));
+    }
+
+    /// The frontier telemetry recorded this superstep, if any.
+    pub fn frontier_sample(&self) -> Option<(u64, u64, u64, u64)> {
+        self.frontier
     }
 
     /// Records a message batch of `msgs` records / `bytes` payload flowing

@@ -36,4 +36,4 @@ pub mod sim;
 pub use config::{ClusterConfig, ComputeCostModel, Storage};
 pub use ledger::SuperstepLedger;
 pub use scenario::ScenarioConfig;
-pub use sim::{load_bytes, ClusterSim, SimError, SimReport};
+pub use sim::{load_bytes, ClusterSim, FrontierProfile, FrontierSample, SimError, SimReport};

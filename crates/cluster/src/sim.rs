@@ -3,6 +3,7 @@
 
 use crate::config::ClusterConfig;
 use crate::ledger::SuperstepLedger;
+use cutfit_util::num::part_index;
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,97 @@ pub struct SimReport {
     pub checkpoint_bytes: u64,
     /// Number of executor failure events absorbed (each one recovered).
     pub executor_failures: u64,
+    /// Per-superstep frontier telemetry, in superstep order, recorded by
+    /// engines that track vertex activity (setup and repartition supersteps
+    /// record none). Every sample is built from exact integers identical
+    /// across scan and executor modes, so the trace never perturbs report
+    /// equality.
+    pub frontier_trace: Vec<FrontierSample>,
+}
+
+/// One superstep's frontier telemetry: how many vertices were active when
+/// the scan started and how many edges the scan actually visited, against
+/// the graph's totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrontierSample {
+    /// Vertices active at scan time.
+    pub active_vertices: u64,
+    /// Total vertices in the graph.
+    pub total_vertices: u64,
+    /// Edge triplets the scan visited (its `matched` count).
+    pub scanned_edges: u64,
+    /// Total edges in the graph.
+    pub total_edges: u64,
+}
+
+impl FrontierSample {
+    /// Fraction of vertices active, 0.0 on an empty graph.
+    pub fn active_fraction(&self) -> f64 {
+        ratio(self.active_vertices, self.total_vertices)
+    }
+
+    /// Fraction of edges scanned, 0.0 on an edgeless graph.
+    pub fn scanned_fraction(&self) -> f64 {
+        ratio(self.scanned_edges, self.total_edges)
+    }
+}
+
+/// Summary of how a run's active frontier evolved, derived from the
+/// per-superstep telemetry the engine records into the ledger. All inputs
+/// are exact integers identical across scan and executor modes, so the
+/// profile is as mode-invariant as the report it comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrontierProfile {
+    /// Message supersteps with frontier telemetry.
+    pub supersteps: u64,
+    /// Peak fraction of vertices active in any superstep.
+    pub peak_active_fraction: f64,
+    /// Mean per-superstep active-vertex fraction.
+    pub mean_active_fraction: f64,
+    /// Mean per-superstep scanned-edge fraction.
+    pub mean_scanned_fraction: f64,
+    /// Supersteps with < 1% of vertices active.
+    pub low_active_supersteps: u64,
+}
+
+impl SimReport {
+    /// Summarizes the run's frontier evolution ([`SimReport::frontier_trace`]
+    /// holds the full per-superstep series). Returns a zeroed profile when
+    /// the run recorded no frontier telemetry (e.g. pure repartition
+    /// charges).
+    pub fn frontier_profile(&self) -> FrontierProfile {
+        let steps = self.frontier_trace.len() as u64;
+        if steps == 0 {
+            return FrontierProfile::default();
+        }
+        let mut profile = FrontierProfile {
+            supersteps: steps,
+            ..FrontierProfile::default()
+        };
+        let mut active_sum = 0.0;
+        let mut scanned_sum = 0.0;
+        for sample in &self.frontier_trace {
+            let active = sample.active_fraction();
+            profile.peak_active_fraction = profile.peak_active_fraction.max(active);
+            active_sum += active;
+            scanned_sum += sample.scanned_fraction();
+            if sample.active_vertices * 100 < sample.total_vertices {
+                profile.low_active_supersteps += 1;
+            }
+        }
+        profile.mean_active_fraction = active_sum / steps as f64;
+        profile.mean_scanned_fraction = scanned_sum / steps as f64;
+        profile
+    }
+}
+
+/// `num / den` as a fraction, 0.0 for an empty denominator.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 /// A running simulation: owns the ledger, the clock, and memory accounting.
@@ -238,8 +330,8 @@ impl ClusterSim {
     /// data persists across supersteps; call again to update when state
     /// sizes change.
     pub fn set_resident(&mut self, part: u32, bytes: u64) {
-        let exec = self.config.executor_of(part) as usize;
-        let old = std::mem::replace(&mut self.part_resident[part as usize], bytes);
+        let exec = part_index(self.config.executor_of(part));
+        let old = std::mem::replace(&mut self.part_resident[part_index(part)], bytes);
         self.resident_bytes[exec] = self.resident_bytes[exec] - old + bytes;
     }
 
@@ -253,19 +345,21 @@ impl ClusterSim {
         if delta == 0 {
             return;
         }
-        let exec = self.config.executor_of(part) as usize;
-        let slot = &mut self.part_resident[part as usize];
-        *slot = slot
-            .checked_add_signed(delta)
-            .expect("resident bytes cannot go negative");
-        self.resident_bytes[exec] = self.resident_bytes[exec]
-            .checked_add_signed(delta)
-            .expect("executor resident bytes cannot go negative");
+        let exec = part_index(self.config.executor_of(part));
+        let slot = &mut self.part_resident[part_index(part)];
+        *slot = match slot.checked_add_signed(delta) {
+            Some(bytes) => bytes,
+            None => panic!("resident bytes cannot go negative"),
+        };
+        self.resident_bytes[exec] = match self.resident_bytes[exec].checked_add_signed(delta) {
+            Some(bytes) => bytes,
+            None => panic!("executor resident bytes cannot go negative"),
+        };
     }
 
     /// Raw resident bytes currently declared for `part`.
     pub fn resident_of(&self, part: u32) -> u64 {
-        self.part_resident[part as usize]
+        self.part_resident[part_index(part)]
     }
 
     /// Clears all residency (e.g. before re-declaring updated state sizes).
@@ -497,6 +591,14 @@ impl ClusterSim {
         self.report.messages += self.ledger.total_messages();
         self.report.remote_bytes += self.ledger.remote_bytes();
         self.report.local_shuffle_bytes += self.ledger.local_shuffle_bytes();
+        if let Some((active, total_verts, scanned, total_edges)) = self.ledger.frontier_sample() {
+            self.report.frontier_trace.push(FrontierSample {
+                active_vertices: active,
+                total_vertices: total_verts,
+                scanned_edges: scanned,
+                total_edges,
+            });
+        }
         self.ledger.reset();
 
         match oom {

@@ -40,11 +40,12 @@ pub mod prelude {
         connected_components, pagerank, sssp, triangle_count, Algorithm, AlgorithmClass,
     };
     pub use cutfit_cluster::{
-        ClusterConfig, ClusterSim, ScenarioConfig, SimError, SimReport, Storage,
+        ClusterConfig, ClusterSim, FrontierProfile, ScenarioConfig, SimError, SimReport, Storage,
     };
     pub use cutfit_datagen::{DatasetProfile, ProfileKind};
     pub use cutfit_engine::{
-        run_pregel, ExecutorMode, Messages, PregelConfig, PreparedRun, Triplet, VertexProgram,
+        run_pregel, ExecutorMode, Messages, PregelConfig, PreparedRun, ScanMode, Triplet,
+        VertexProgram,
     };
     pub use cutfit_graph::{Edge, Graph, GraphBuilder, VertexId};
     pub use cutfit_partition::{

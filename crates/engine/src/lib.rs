@@ -22,16 +22,23 @@
 //! The superstep loop runs on precomputed run-scoped indexes and reusable
 //! buffers (see [`pregel`]), and all three phases — scan, shuffle, apply —
 //! execute on the worker pool under [`ExecutorMode::Parallel`] and
-//! [`ExecutorMode::Auto`]. Every executor mode produces bit-identical
-//! results, vertex states *and* metered [`cutfit_cluster::SimReport`]:
+//! [`ExecutorMode::Auto`]. Converging programs additionally run
+//! frontier-driven (see the `frontier` module): supersteps whose active set
+//! has shrunk scan only the frontier's incident edges and drain only touched
+//! message slots, making tail supersteps O(active) instead of O(V + E).
+//! Every executor mode *and* every [`ScanMode`] produces bit-identical
+//! results, vertex states and metered [`cutfit_cluster::SimReport`] alike:
 //! threads own disjoint partition/vertex sets, per-vertex merges happen in
-//! deterministic source-partition order, and all metering is integral.
+//! deterministic source-partition order (sparse scans visit gathered edges
+//! in ascending edge index, reproducing the dense merge order), and all
+//! metering is integral.
 
+mod frontier;
 pub mod pregel;
 pub mod program;
 
 #[cfg(test)]
 mod tests_direction;
 
-pub use pregel::{run_pregel, ExecutorMode, PregelConfig, PregelResult, PreparedRun};
+pub use pregel::{run_pregel, ExecutorMode, PregelConfig, PregelResult, PreparedRun, ScanMode};
 pub use program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram};

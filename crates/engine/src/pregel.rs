@@ -33,7 +33,11 @@ use cutfit_graph::VertexId;
 use cutfit_partition::{EdgePartition, PartitionedGraph, NO_PART};
 use cutfit_util::exec::{run_chunked, run_ranges, DisjointSlice};
 use cutfit_util::hash::hash64;
+use cutfit_util::num::{part_index, vid_index};
 
+use crate::frontier::{
+    gather_edges, plan_sparse_scan, FrontierAdjacency, FrontierBuffers, ScanKind,
+};
 use crate::program::{ActiveDirection, InitCtx, Messages, Triplet, VertexProgram};
 
 /// How partitions are scanned within a superstep.
@@ -65,6 +69,28 @@ impl ExecutorMode {
     }
 }
 
+/// How supersteps visit edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Walk every partition's full edge table each superstep, filtering on
+    /// the activity bitset — GraphX's behaviour, O(V + E) per superstep
+    /// regardless of how few vertices are still active.
+    Dense,
+    /// Always gather from the frontier's incident-edge lists — O(active)
+    /// per superstep, but slower than dense when most vertices are active
+    /// (the gather pays a sort). For testing and benchmarking.
+    Sparse,
+    /// Each partition picks dense or sparse per superstep by comparing its
+    /// frontier-incident degree sum against its edge count. The default.
+    Auto,
+}
+
+impl Default for ScanMode {
+    fn default() -> Self {
+        ScanMode::Auto
+    }
+}
+
 /// Engine options.
 #[derive(Debug, Clone)]
 pub struct PregelConfig {
@@ -83,6 +109,11 @@ pub struct PregelConfig {
     /// high-superstep jobs (the paper's SSSP) from lineage OOM, at a
     /// storage-write cost per checkpoint.
     pub checkpoint_interval: Option<u64>,
+    /// How converging programs scan edges once activity drops; every mode
+    /// is bit-identical in states and [`SimReport`] (the sparse path visits
+    /// the same edges in the same per-slot order and meters the same
+    /// quantities), so this knob only moves wall-clock time.
+    pub scan_mode: ScanMode,
 }
 
 impl Default for PregelConfig {
@@ -92,6 +123,7 @@ impl Default for PregelConfig {
             executor: ExecutorMode::Sequential,
             charge_initial_load: true,
             checkpoint_interval: None,
+            scan_mode: ScanMode::Auto,
         }
     }
 }
@@ -158,24 +190,32 @@ struct ScanIndex {
     exec_of_part: Vec<u32>,
     /// Per-partition local groupings by home (empty unless sharded).
     parts: Vec<PartIndex>,
-    /// CSR offsets into `home_verts`, one group per home partition.
-    vert_offsets: Vec<u64>,
-    /// All vertex ids grouped by home partition, ascending within groups.
-    home_verts: Vec<VertexId>,
     /// Setup-superstep aggregates for fixed-size-state metering; `None`
     /// when the caller knows no fixed-size program will run (the O(V +
     /// replicas) aggregation pass would be pure waste there).
     setup: Option<SetupAggregates>,
+    /// Frontier-driven sparse-scan index: the eager replica-local table
+    /// plus lazily built per-partition incident-edge CSRs. `None` when the
+    /// caller knows only dense scans will run (forced [`ScanMode::Dense`]
+    /// or an always-active program).
+    adjacency: Option<FrontierAdjacency>,
 }
 
 impl ScanIndex {
-    /// Builds the index. The home-sharded groupings (`home_locals`,
-    /// `home_verts`) are only needed by the multi-threaded shuffle/apply —
-    /// the single-thread path sweeps linearly — so they are built only when
-    /// `shards` is set. Likewise the setup aggregates are built only when
-    /// `setup` is set: one-shot runs of variable-size-state programs take
-    /// the per-vertex metering sweep and never read them.
-    fn build(pg: &PartitionedGraph, cluster: &ClusterConfig, shards: bool, setup: bool) -> Self {
+    /// Builds the index. The home-sharded grouping (`home_locals`) is only
+    /// needed by the multi-threaded dense shuffle — the single-thread path
+    /// sweeps linearly — so it is built only when `shards` is set. Likewise
+    /// the setup aggregates are built only when `setup` is set: one-shot
+    /// runs of variable-size-state programs take the per-vertex metering
+    /// sweep and never read them. The sparse-scan adjacency is built only
+    /// when `adjacency` is set.
+    fn build(
+        pg: &PartitionedGraph,
+        cluster: &ClusterConfig,
+        shards: bool,
+        setup: bool,
+        adjacency: bool,
+    ) -> Self {
         let n = pg.num_vertices() as usize;
         let np = pg.num_parts() as usize;
         let home: Vec<PartId> = pg
@@ -264,39 +304,13 @@ impl ScanIndex {
             }
         });
 
-        let (vert_offsets, home_verts) = if shards {
-            let mut offsets = vec![0u64; np + 1];
-            for &h in &home {
-                offsets[h as usize + 1] += 1;
-            }
-            for q in 0..np {
-                offsets[q + 1] += offsets[q];
-            }
-            let mut cursor = offsets.clone();
-            let mut verts = vec![0u64; n];
-            for (v, &h) in home.iter().enumerate() {
-                verts[cursor[h as usize] as usize] = v as VertexId;
-                cursor[h as usize] += 1;
-            }
-            (offsets, verts)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-
         Self {
             home,
             exec_of_part,
             parts,
-            vert_offsets,
-            home_verts,
             setup,
+            adjacency: adjacency.then(|| FrontierAdjacency::build(pg)),
         }
-    }
-
-    /// All vertices mastered at home partition `q`, ascending.
-    #[inline]
-    fn verts_of_home(&self, q: usize) -> &[VertexId] {
-        &self.home_verts[self.vert_offsets[q] as usize..self.vert_offsets[q + 1] as usize]
     }
 }
 
@@ -418,13 +432,14 @@ fn degree_tables(pg: &PartitionedGraph) -> (Vec<u32>, Vec<u32>) {
     (out_deg, in_deg)
 }
 
-/// Program-independent run scratch: activity bitsets, matched-edge counts,
-/// and per-thread metering deltas. A [`PreparedRun`] keeps one of these
-/// alive across jobs so back-to-back dispatches allocate nothing here (the
-/// message-typed inbox/partial buffers are per-program and stay per-run).
+/// Program-independent run scratch: the activity bitset, frontier
+/// bookkeeping, matched-edge counts, and per-thread metering deltas. A
+/// [`PreparedRun`] keeps one of these alive across jobs so back-to-back
+/// dispatches allocate nothing here (the message-typed inbox/partial
+/// buffers are per-program and stay per-run).
 struct RunBuffers {
     active: Vec<bool>,
-    next_active: Vec<bool>,
+    frontier: FrontierBuffers,
     matched: Vec<u64>,
     deltas: Vec<MeterDelta>,
 }
@@ -432,8 +447,8 @@ struct RunBuffers {
 impl RunBuffers {
     fn new(n: usize, num_parts: usize, executors: usize, threads: usize) -> Self {
         Self {
-            active: vec![true; n],
-            next_active: vec![false; n],
+            active: vec![false; n],
+            frontier: FrontierBuffers::new(num_parts),
             matched: vec![0; num_parts],
             deltas: (0..threads)
                 .map(|_| MeterDelta::new(executors, num_parts))
@@ -464,6 +479,7 @@ pub fn run_pregel<P: VertexProgram>(
         cluster,
         threads > 1,
         program.fixed_state_bytes().is_some(),
+        opts.scan_mode != ScanMode::Dense && !program.always_active(),
     );
     let (out_deg, in_deg) = degree_tables(pg);
     let mut sim = ClusterSim::new(cluster.clone(), pg.num_parts());
@@ -537,7 +553,9 @@ impl PreparedRun {
     ) -> Self {
         let np = pg.num_parts() as usize;
         let threads = executor.threads().min(np.max(1));
-        let index = ScanIndex::build(&pg, cluster, threads > 1, setup);
+        // Session handles serve arbitrary programs, so the sparse-scan
+        // adjacency is always worth caching alongside the routing index.
+        let index = ScanIndex::build(&pg, cluster, threads > 1, setup, true);
         let (out_deg, in_deg) = degree_tables(&pg);
         let sim = ClusterSim::new(cluster.clone(), pg.num_parts());
         let buffers = RunBuffers::new(
@@ -623,9 +641,21 @@ fn execute<P: VertexProgram>(
 ) -> Result<(Vec<P::State>, u64, bool), SimError> {
     let n = pg.num_vertices() as usize;
     let np = pg.num_parts() as usize;
+    let num_edges = pg.num_edges();
     let msg_overhead = sim.config().cost.message_overhead_bytes;
     let executors = sim.config().executors as usize;
     debug_assert_eq!(executors, buffers.deltas[0].executors);
+    let all_active = program.always_active();
+    let dir = program.active_direction();
+    // Sparse scans need the incident-edge adjacency. Without one — forced
+    // dense mode, an always-active program (its frontier never shrinks), or
+    // an index built without it — every superstep takes the dense path.
+    let adjacency = if all_active || opts.scan_mode == ScanMode::Dense {
+        None
+    } else {
+        index.adjacency.as_ref()
+    };
+    let force_sparse = opts.scan_mode == ScanMode::Sparse;
 
     if let Some(every) = opts.checkpoint_interval {
         sim.set_checkpoint_interval(every);
@@ -677,8 +707,8 @@ fn execute<P: VertexProgram>(
             sim.ledger().vertex_ops(home, 1);
             let replicas = pg.routing().parts_of(v);
             if replicas.len() > 1 {
-                let bytes = program.state_bytes(&states[v as usize]) + msg_overhead;
-                let master_exec = index.exec_of_part[home as usize];
+                let bytes = program.state_bytes(&states[vid_index(v)]) + msg_overhead;
+                let master_exec = index.exec_of_part[part_index(home)];
                 for &p in replicas {
                     if p != home {
                         sim.ledger().send_exec(
@@ -743,51 +773,112 @@ fn execute<P: VertexProgram>(
     let mut inbox: Vec<Option<P::Msg>> = std::iter::repeat_with(|| None).take(n).collect();
     let RunBuffers {
         active,
-        next_active,
+        frontier: fb,
         matched,
         deltas,
     } = buffers;
     let deltas = &mut deltas[..threads];
-    active.fill(true);
+    fb.reset();
+    let FrontierBuffers {
+        frontier,
+        touched_inbox,
+        part_frontier,
+        touched_partials,
+        gather,
+        deg_sum,
+        scan_kind,
+        sparse_wants,
+    } = fb;
+    if !all_active {
+        // The frontier protocol keeps `active` equal to the current
+        // frontier set from the second message superstep on. The first
+        // superstep is implicitly all-active (`frontier_all`) and never
+        // reads the bitset, so a clean all-false start suffices — and
+        // always-active programs never touch it at all.
+        active.fill(false);
+    }
+    let mut frontier_all = true;
 
     // --- Superstep loop. ---
     let mut supersteps = 0u64;
     let mut converged = false;
     while supersteps < opts.max_iterations {
+        // 0. Plan: distribute the frontier to its replica partitions and
+        //    pick each partition's scan kind. While every vertex is active
+        //    (superstep one, always-active programs) all partitions take
+        //    the predicate-free full scan.
+        let active_count = if frontier_all {
+            scan_kind.fill(ScanKind::Full);
+            n as u64
+        } else if let Some(adj) = adjacency {
+            plan_sparse_scan(
+                pg,
+                adj,
+                dir,
+                force_sparse,
+                (out_deg, in_deg),
+                frontier,
+                part_frontier,
+                deg_sum,
+                scan_kind,
+                sparse_wants,
+            )
+        } else {
+            scan_kind.fill(ScanKind::Dense);
+            frontier.iter().map(|f| f.len() as u64).sum()
+        };
+
         // 1. Scan: per-partition pre-aggregated messages, in parallel over
-        //    edge partitions.
+        //    edge partitions. Sparse partitions visit only the frontier's
+        //    incident edges (ascending edge index, so per-slot merge order
+        //    matches the dense walk) and record first-written partial
+        //    slots for the shuffle.
         scan_all(
             program,
             pg,
-            &states,
+            adjacency,
+            &*states,
             active,
             out_deg,
             in_deg,
             &mut partials,
+            part_frontier,
+            touched_partials,
+            gather,
+            scan_kind,
             matched,
             threads,
         );
         for (p, &m) in matched.iter().enumerate() {
             sim.ledger().edge_scans(p as PartId, m);
         }
+        // Frontier telemetry: active vertices at scan time and edges the
+        // scan visited. Both are mode-invariant integers — `matched` is
+        // pinned equal across modes, and the frontier is exactly the set
+        // of vertices that received messages last superstep.
+        let scanned: u64 = matched.iter().sum();
+        sim.ledger()
+            .record_frontier(active_count, n as u64, scanned, num_edges);
 
-        // 2. Shuffle partials to masters. Single-threaded: one linear sweep
-        //    over each partition's partial buffer (best cache behaviour).
-        //    Multi-threaded: each thread owns a disjoint set of *home*
-        //    partitions and drains, for each of them, the matching locals
-        //    of every source partition in ascending order. Both visit each
-        //    vertex's messages in ascending source-partition order, so the
-        //    merged inbox is bit-identical either way.
+        // 2. Shuffle partials to masters. Dense/full partitions: one linear
+        //    sweep over the partial buffer (single-threaded) or the
+        //    home-grouped locals (pool). Sparse partitions: drain exactly
+        //    the touched slots. Every path visits each vertex's messages in
+        //    ascending source-partition order — at most one slot exists per
+        //    (vertex, partition) — so the merged inbox is bit-identical.
+        //    First-written inbox slots are recorded per home partition:
+        //    they are the next frontier.
         if threads <= 1 {
             let delta = &mut deltas[0];
             delta.reset();
-            for (p, partial) in partials.iter_mut().enumerate() {
+            for p in 0..np {
                 let globals = &pg.parts()[p].vertices;
                 let from_exec = index.exec_of_part[p];
-                for (local, slot) in partial.iter_mut().enumerate() {
-                    let Some(msg) = slot.take() else { continue };
-                    let v = globals[local] as usize;
-                    let q = index.home[v] as usize;
+                let partial = &mut partials[p];
+                let mut drain = |local: usize, slot: &mut Option<P::Msg>| {
+                    let Some(msg) = slot.take() else { return };
+                    let v = vid_index(globals[local]);
+                    let q = part_index(index.home[v]);
                     let bytes = program.msg_bytes(&msg) + msg_overhead;
                     delta.send_exec(from_exec, index.exec_of_part[q], 1, bytes);
                     delta.local_bytes[q] += bytes;
@@ -795,40 +886,74 @@ fn execute<P: VertexProgram>(
                     let entry = &mut inbox[v];
                     *entry = Some(match entry.take() {
                         Some(acc) => program.merge(acc, msg),
-                        None => msg,
+                        None => {
+                            touched_inbox[q].push(v as VertexId);
+                            msg
+                        }
                     });
+                };
+                if scan_kind[p] == ScanKind::Sparse {
+                    for &local in touched_partials[p].iter() {
+                        drain(local as usize, &mut partial[local as usize]);
+                    }
+                } else {
+                    for (local, slot) in partial.iter_mut().enumerate() {
+                        drain(local, slot);
+                    }
                 }
             }
         } else {
             let inbox_cells = DisjointSlice::new(&mut inbox);
+            let touched_cells = DisjointSlice::new(touched_inbox.as_mut_slice());
             let partial_cells: Vec<DisjointSlice<'_, Option<P::Msg>>> =
                 partials.iter_mut().map(|p| DisjointSlice::new(p)).collect();
             run_on_pool(np, threads, deltas, |homes, delta| {
                 for q in homes {
                     let to_exec = index.exec_of_part[q];
+                    // SAFETY: home q belongs to this thread only.
+                    let touched_q = unsafe { touched_cells.get_mut(q) };
                     for (p, pindex) in index.parts.iter().enumerate() {
                         let from_exec = index.exec_of_part[p];
                         let globals = &pg.parts()[p].vertices;
-                        for &local in pindex.locals_of_home(q) {
+                        let mut drain = |local: usize| {
                             // SAFETY: (p, local) resolves to a vertex whose
-                            // home is q, and q belongs to this thread only.
-                            let slot = unsafe { partial_cells[p].get_mut(local as usize) };
-                            let Some(msg) = slot.take() else { continue };
-                            let v = globals[local as usize];
+                            // home is q, and q belongs to this thread only
+                            // — one writer per slot even when two threads
+                            // walk the same touched list.
+                            let slot = unsafe { partial_cells[p].get_mut(local) };
+                            let Some(msg) = slot.take() else { return };
+                            let v = vid_index(globals[local]);
                             let bytes = program.msg_bytes(&msg) + msg_overhead;
                             delta.send_exec(from_exec, to_exec, 1, bytes);
                             delta.local_bytes[q] += bytes;
                             delta.msgs += 1;
                             // SAFETY: v's home is q — disjoint across threads.
-                            let entry = unsafe { inbox_cells.get_mut(v as usize) };
+                            let entry = unsafe { inbox_cells.get_mut(v) };
                             *entry = Some(match entry.take() {
                                 Some(acc) => program.merge(acc, msg),
-                                None => msg,
+                                None => {
+                                    touched_q.push(v as VertexId);
+                                    msg
+                                }
                             });
+                        };
+                        if scan_kind[p] == ScanKind::Sparse {
+                            for &local in touched_partials[p].iter() {
+                                if part_index(index.home[vid_index(globals[local as usize])]) == q {
+                                    drain(local as usize);
+                                }
+                            }
+                        } else {
+                            for &local in pindex.locals_of_home(q) {
+                                drain(local as usize);
+                            }
                         }
                     }
                 }
             });
+        }
+        for list in touched_partials.iter_mut() {
+            list.clear();
         }
         let msg_count: u64 = deltas.iter().map(|d| d.msgs).sum();
         for delta in deltas.iter() {
@@ -842,41 +967,60 @@ fn execute<P: VertexProgram>(
         }
 
         // 3. Apply at masters; 4. broadcast updated states to mirrors.
-        //    Single-threaded: one linear inbox sweep. Multi-threaded: over
-        //    disjoint home-partition shards. Residency is tracked as signed
-        //    per-partition deltas (exactly zero for fixed-size states, so
-        //    that bookkeeping is skipped entirely); applies are independent
-        //    per vertex, so both orders produce identical states and bills.
-        next_active.fill(program.always_active());
+        //    Drains exactly the touched inbox slots, grouped by home
+        //    partition (single-threaded: homes in ascending order;
+        //    multi-threaded: disjoint home shards) — no O(V) inbox sweep
+        //    and no O(V) bitset reset: the old frontier's bits are cleared
+        //    list-wise, then the touched vertices become the new frontier.
+        //    Applies are independent per vertex and all metering is
+        //    commutative-integral, so visit order never shows in states or
+        //    bills. Residency is tracked as signed per-partition deltas
+        //    (exactly zero for fixed-size states).
         if threads <= 1 {
             let delta = &mut deltas[0];
             delta.reset();
-            for (v, slot) in inbox.iter_mut().enumerate() {
-                let Some(msg) = slot.take() else { continue };
-                let q = index.home[v] as usize;
-                let state = &mut states[v];
-                let old_bytes = if fixed_state.is_none() {
-                    program.state_bytes(state)
-                } else {
-                    0
-                };
-                *state = program.apply(v as VertexId, state, &msg);
-                next_active[v] = true;
-                let state_size = program.state_bytes(state);
-                delta.vertex_ops[q] += 1;
-                delta.local_bytes[q] += state_size;
-                let bytes = state_size + msg_overhead;
-                let master_exec = index.exec_of_part[q];
-                for &p in pg.routing().parts_of(v as VertexId) {
-                    if p as usize != q {
-                        delta.send_exec(master_exec, index.exec_of_part[p as usize], 1, bytes);
+            if !all_active && !frontier_all {
+                for flist in frontier.iter() {
+                    for &fv in flist {
+                        active[vid_index(fv)] = false;
                     }
                 }
-                if fixed_state.is_none() {
-                    let diff = state_size as i64 - old_bytes as i64;
-                    if diff != 0 {
-                        for &p in pg.routing().parts_of(v as VertexId) {
-                            delta.resident[p as usize] += diff;
+            }
+            for (q, touched_q) in touched_inbox.iter().enumerate() {
+                let master_exec = index.exec_of_part[q];
+                for &tv in touched_q {
+                    let v = vid_index(tv);
+                    let Some(msg) = inbox[v].take() else { continue };
+                    let state = &mut states[v];
+                    let old_bytes = if fixed_state.is_none() {
+                        program.state_bytes(state)
+                    } else {
+                        0
+                    };
+                    *state = program.apply(tv, state, &msg);
+                    if !all_active {
+                        active[v] = true;
+                    }
+                    let state_size = program.state_bytes(state);
+                    delta.vertex_ops[q] += 1;
+                    delta.local_bytes[q] += state_size;
+                    let bytes = state_size + msg_overhead;
+                    for &p in pg.routing().parts_of(tv) {
+                        if part_index(p) != q {
+                            delta.send_exec(
+                                master_exec,
+                                index.exec_of_part[part_index(p)],
+                                1,
+                                bytes,
+                            );
+                        }
+                    }
+                    if fixed_state.is_none() {
+                        let diff = state_size as i64 - old_bytes as i64;
+                        if diff != 0 {
+                            for &p in pg.routing().parts_of(tv) {
+                                delta.resident[part_index(p)] += diff;
+                            }
                         }
                     }
                 }
@@ -884,32 +1028,43 @@ fn execute<P: VertexProgram>(
         } else {
             let inbox_cells = DisjointSlice::new(&mut inbox);
             let state_cells = DisjointSlice::new(&mut states);
-            let active_cells = DisjointSlice::new(next_active);
+            let active_cells = DisjointSlice::new(active.as_mut_slice());
             run_on_pool(np, threads, deltas, |homes, delta| {
                 for q in homes {
                     let master_exec = index.exec_of_part[q];
-                    for &v in index.verts_of_home(q) {
-                        // SAFETY: v's home is q, owned by this thread only;
-                        // the same argument covers states and next_active.
-                        let slot = unsafe { inbox_cells.get_mut(v as usize) };
+                    if !all_active && !frontier_all {
+                        for &fv in frontier[q].iter() {
+                            // SAFETY: frontier[q] holds only vertices homed
+                            // at q, owned by this thread only.
+                            unsafe { *active_cells.get_mut(vid_index(fv)) = false };
+                        }
+                    }
+                    for &tv in touched_inbox[q].iter() {
+                        let v = vid_index(tv);
+                        // SAFETY: tv's home is q, owned by this thread
+                        // only; the same argument covers states and the
+                        // activity bitset.
+                        let slot = unsafe { inbox_cells.get_mut(v) };
                         let Some(msg) = slot.take() else { continue };
-                        let state = unsafe { state_cells.get_mut(v as usize) };
+                        let state = unsafe { state_cells.get_mut(v) };
                         let old_bytes = if fixed_state.is_none() {
                             program.state_bytes(state)
                         } else {
                             0
                         };
-                        *state = program.apply(v, state, &msg);
-                        unsafe { *active_cells.get_mut(v as usize) = true };
+                        *state = program.apply(tv, state, &msg);
+                        if !all_active {
+                            unsafe { *active_cells.get_mut(v) = true };
+                        }
                         let state_size = program.state_bytes(state);
                         delta.vertex_ops[q] += 1;
                         delta.local_bytes[q] += state_size;
                         let bytes = state_size + msg_overhead;
-                        for &p in pg.routing().parts_of(v) {
-                            if p as usize != q {
+                        for &p in pg.routing().parts_of(tv) {
+                            if part_index(p) != q {
                                 delta.send_exec(
                                     master_exec,
-                                    index.exec_of_part[p as usize],
+                                    index.exec_of_part[part_index(p)],
                                     1,
                                     bytes,
                                 );
@@ -918,8 +1073,8 @@ fn execute<P: VertexProgram>(
                         if fixed_state.is_none() {
                             let diff = state_size as i64 - old_bytes as i64;
                             if diff != 0 {
-                                for &p in pg.routing().parts_of(v) {
-                                    delta.resident[p as usize] += diff;
+                                for &p in pg.routing().parts_of(tv) {
+                                    delta.resident[part_index(p)] += diff;
                                 }
                             }
                         }
@@ -931,7 +1086,21 @@ fn execute<P: VertexProgram>(
             delta.flush_ledger(sim.ledger());
             delta.flush_resident(sim);
         }
-        std::mem::swap(active, next_active);
+        // The vertices that received messages are exactly next superstep's
+        // frontier: swap the touched lists in and recycle the old frontier
+        // lists as next superstep's touched scratch. Always-active programs
+        // stay in `frontier_all` forever and just recycle the scratch.
+        if all_active {
+            for list in touched_inbox.iter_mut() {
+                list.clear();
+            }
+        } else {
+            std::mem::swap(frontier, touched_inbox);
+            for list in touched_inbox.iter_mut() {
+                list.clear();
+            }
+            frontier_all = false;
+        }
         supersteps += 1;
         sim.end_superstep()?;
     }
@@ -941,44 +1110,118 @@ fn execute<P: VertexProgram>(
 
 /// Scans all partitions, sequentially or on the pool, writing per-partition
 /// pre-aggregated messages into the reusable `partials` buffers and the
-/// matched-edge counts (for metering) into `matched`.
+/// matched-edge counts (for metering) into `matched`. Each partition is
+/// scanned according to its planned [`ScanKind`]: `Full` skips the activity
+/// predicate entirely, `Dense` walks all edges testing the bitset, `Sparse`
+/// gathers the frontier's incident edges from the partition's adjacency
+/// lists and visits only those — in ascending edge index, so the per-slot
+/// merge order (and hence every float bit pattern) matches the dense walk.
 #[allow(clippy::too_many_arguments)]
 fn scan_all<P: VertexProgram>(
     program: &P,
     pg: &PartitionedGraph,
+    adjacency: Option<&FrontierAdjacency>,
     states: &[P::State],
     active: &[bool],
     out_deg: &[u32],
     in_deg: &[u32],
     partials: &mut [Vec<Option<P::Msg>>],
+    part_frontier: &[Vec<u32>],
+    touched_partials: &mut [Vec<u32>],
+    gather: &mut [Vec<u32>],
+    scan_kind: &[ScanKind],
     matched: &mut [u64],
     threads: usize,
 ) {
     if threads <= 1 {
-        for ((part, partial), m) in pg.parts().iter().zip(partials).zip(matched) {
-            *m = scan_partition(program, part, states, active, out_deg, in_deg, partial);
+        for (p, part) in pg.parts().iter().enumerate() {
+            matched[p] = scan_part_dispatch(
+                program,
+                part,
+                p,
+                adjacency,
+                states,
+                active,
+                out_deg,
+                in_deg,
+                &mut partials[p],
+                &part_frontier[p],
+                &mut touched_partials[p],
+                &mut gather[p],
+                scan_kind[p],
+            );
         }
         return;
     }
     let partial_cells = DisjointSlice::new(partials);
+    let touched_cells = DisjointSlice::new(touched_partials);
+    let gather_cells = DisjointSlice::new(gather);
     let matched_cells = DisjointSlice::new(matched);
     run_ranges(pg.parts().len(), threads, |parts| {
         for p in parts {
             // SAFETY: partition ranges are disjoint across threads, so each
-            // partition's partial buffer and matched slot has one writer.
+            // partition's partial buffer, touched list, gather scratch, and
+            // matched slot has exactly one writer.
             let partial = unsafe { partial_cells.get_mut(p) };
-            let m = scan_partition(
+            let touched = unsafe { touched_cells.get_mut(p) };
+            let gat = unsafe { gather_cells.get_mut(p) };
+            let m = scan_part_dispatch(
                 program,
                 &pg.parts()[p],
+                p,
+                adjacency,
                 states,
                 active,
                 out_deg,
                 in_deg,
                 partial,
+                &part_frontier[p],
+                touched,
+                gat,
+                scan_kind[p],
             );
             unsafe { *matched_cells.get_mut(p) = m };
         }
     });
+}
+
+/// Routes one partition's scan to the implementation its planned
+/// [`ScanKind`] calls for. A `Sparse` plan with no adjacency built (which
+/// the planner never produces) degrades safely to the dense predicate walk.
+#[allow(clippy::too_many_arguments)]
+fn scan_part_dispatch<P: VertexProgram>(
+    program: &P,
+    part: &EdgePartition,
+    p: usize,
+    adjacency: Option<&FrontierAdjacency>,
+    states: &[P::State],
+    active: &[bool],
+    out_deg: &[u32],
+    in_deg: &[u32],
+    out: &mut [Option<P::Msg>],
+    flist: &[u32],
+    touched: &mut Vec<u32>,
+    gather: &mut Vec<u32>,
+    kind: ScanKind,
+) -> u64 {
+    match kind {
+        ScanKind::Full => scan_partition_full(program, part, states, out_deg, in_deg, out),
+        ScanKind::Sparse => {
+            if flist.is_empty() {
+                // No frontier replica lives here: nothing to gather, no
+                // edge the dense predicate would match, no CSR needed.
+                return 0;
+            }
+            let Some(pa) = adjacency.and_then(|adj| adj.part(p)) else {
+                return scan_partition(program, part, states, active, out_deg, in_deg, out);
+            };
+            gather_edges(pa, flist, program.active_direction(), gather);
+            scan_partition_sparse(
+                program, part, states, active, out_deg, in_deg, out, gather, touched,
+            )
+        }
+        ScanKind::Dense => scan_partition(program, part, states, active, out_deg, in_deg, out),
+    }
 }
 
 /// Scans one partition: map-side combine into the partition's reusable
@@ -997,8 +1240,8 @@ fn scan_partition<P: VertexProgram>(
     for &(ls, ld) in &part.edges {
         let src = part.vertices[ls as usize];
         let dst = part.vertices[ld as usize];
-        let s = src as usize;
-        let d = dst as usize;
+        let s = vid_index(src);
+        let d = vid_index(dst);
         let scan = match dir {
             ActiveDirection::Either => active[s] || active[d],
             ActiveDirection::Out => active[s],
@@ -1030,11 +1273,121 @@ fn scan_partition<P: VertexProgram>(
     matched
 }
 
+/// Scans one partition with every vertex active: the activity predicate is
+/// statically true (superstep one, always-active programs), so the bitset
+/// is never read and `matched` is exactly the partition's edge count.
+fn scan_partition_full<P: VertexProgram>(
+    program: &P,
+    part: &EdgePartition,
+    states: &[P::State],
+    out_deg: &[u32],
+    in_deg: &[u32],
+    out: &mut [Option<P::Msg>],
+) -> u64 {
+    for &(ls, ld) in &part.edges {
+        let src = part.vertices[ls as usize];
+        let dst = part.vertices[ld as usize];
+        let s = vid_index(src);
+        let d = vid_index(dst);
+        let triplet = Triplet {
+            src,
+            dst,
+            src_state: &states[s],
+            dst_state: &states[d],
+            src_out_degree: out_deg[s],
+            dst_in_degree: in_deg[d],
+        };
+        match program.send(&triplet) {
+            Messages::None => {}
+            Messages::ToSrc(m) => emit(program, &mut out[ls as usize], m),
+            Messages::ToDst(m) => emit(program, &mut out[ld as usize], m),
+            Messages::Both(ms, md) => {
+                emit(program, &mut out[ls as usize], ms);
+                emit(program, &mut out[ld as usize], md);
+            }
+        }
+    }
+    part.edges.len() as u64
+}
+
+/// Scans one partition through a gathered edge-index list instead of the
+/// full edge array. The gather upholds two invariants (see
+/// [`crate::frontier::gather_edges`]): it contains exactly the edges the
+/// dense predicate would match — except under `Both`, where it
+/// over-approximates with src-incident edges and the `active[dst]` check
+/// here restores exactness — and it is sorted ascending, so slots merge
+/// their messages in the same order as the dense walk. Locals whose slot
+/// goes `None → Some` are pushed onto `touched` for the sparse shuffle.
+#[allow(clippy::too_many_arguments)]
+fn scan_partition_sparse<P: VertexProgram>(
+    program: &P,
+    part: &EdgePartition,
+    states: &[P::State],
+    active: &[bool],
+    out_deg: &[u32],
+    in_deg: &[u32],
+    out: &mut [Option<P::Msg>],
+    gathered: &[u32],
+    touched: &mut Vec<u32>,
+) -> u64 {
+    let mut matched = 0u64;
+    let both = program.active_direction() == ActiveDirection::Both;
+    for &e in gathered {
+        let (ls, ld) = part.edges[e as usize];
+        let src = part.vertices[ls as usize];
+        let dst = part.vertices[ld as usize];
+        let s = vid_index(src);
+        let d = vid_index(dst);
+        if both && !(active[s] && active[d]) {
+            continue;
+        }
+        matched += 1;
+        let triplet = Triplet {
+            src,
+            dst,
+            src_state: &states[s],
+            dst_state: &states[d],
+            src_out_degree: out_deg[s],
+            dst_in_degree: in_deg[d],
+        };
+        match program.send(&triplet) {
+            Messages::None => {}
+            Messages::ToSrc(m) => emit_touched(program, out, ls, touched, m),
+            Messages::ToDst(m) => emit_touched(program, out, ld, touched, m),
+            Messages::Both(ms, md) => {
+                emit_touched(program, out, ls, touched, ms);
+                emit_touched(program, out, ld, touched, md);
+            }
+        }
+    }
+    matched
+}
+
 #[inline]
 fn emit<P: VertexProgram>(program: &P, slot: &mut Option<P::Msg>, msg: P::Msg) {
     *slot = Some(match slot.take() {
         Some(acc) => program.merge(acc, msg),
         None => msg,
+    });
+}
+
+/// [`emit`] that also records first-written locals, so the sparse shuffle
+/// can drain exactly the populated slots instead of sweeping the partition.
+#[inline]
+fn emit_touched<P: VertexProgram>(
+    program: &P,
+    out: &mut [Option<P::Msg>],
+    local: u32,
+    touched: &mut Vec<u32>,
+    msg: P::Msg,
+) {
+    let slot = &mut out[local as usize];
+    *slot = Some(match slot.take() {
+        Some(acc) => program.merge(acc, msg),
+        None => {
+            touched.push(local);
+            msg
+        }
     });
 }
 

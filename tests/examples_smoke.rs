@@ -1,4 +1,4 @@
-//! Smoke tests mirroring each of the six `examples/*.rs` flows on tiny
+//! Smoke tests mirroring each of the seven `examples/*.rs` flows on tiny
 //! graphs, so `cargo test` exercises every documented entry point without
 //! paying the examples' full default scales. CI additionally builds the
 //! example binaries themselves and runs `quickstart` end to end.
@@ -162,6 +162,66 @@ fn out_of_core_flow() {
     assert_eq!(report.failures(), 0);
     assert!(report.provisioning_seconds() > 0.0);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `examples/converging_frontier.rs`: SSSP from hub landmarks traced via
+/// `frontier_trace`, then the dense-vs-auto race on a road network — states
+/// and simulated bills bit-identical, only the wall clock moves.
+#[test]
+fn converging_frontier_flow() {
+    let cluster = ClusterConfig::paper_cluster();
+    let run = |pg: &PartitionedGraph, landmarks: Vec<VertexId>, scan_mode| {
+        let opts = PregelConfig {
+            executor: ExecutorMode::Sequential,
+            scan_mode,
+            checkpoint_interval: Some(25),
+            ..Default::default()
+        };
+        sssp(pg, &cluster, landmarks, 100_000, &opts).expect("fits")
+    };
+
+    // Part one: hub-landmark SSSP on a scale-free graph, frontier traced.
+    let config = cutfit::datagen::RmatConfig {
+        scale: 9,
+        edges: 1 << 10,
+        ..Default::default()
+    };
+    let graph = cutfit::datagen::rmat(&config, 42);
+    let hub = graph
+        .in_degrees()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(v, &d)| (d, std::cmp::Reverse(v)))
+        .map(|(v, _)| v as VertexId)
+        .expect("non-empty graph");
+    let pg = GraphXStrategy::EdgePartition2D.partition(&graph, 16);
+    let dense = run(&pg, vec![hub], ScanMode::Dense);
+    let auto = run(&pg, vec![hub], ScanMode::Auto);
+    assert_eq!(dense.states, auto.states);
+    assert_eq!(dense.sim, auto.sim);
+    assert!(auto.supersteps > 1, "hub landmark must actually propagate");
+    // One trace sample per message superstep, wavefront collapsing to zero.
+    assert_eq!(auto.sim.frontier_trace.len() as u64, auto.supersteps + 1);
+    let first = auto.sim.frontier_trace.first().expect("non-empty trace");
+    let last = auto.sim.frontier_trace.last().expect("non-empty trace");
+    assert_eq!(first.active_vertices, graph.num_vertices());
+    assert!(last.active_vertices < first.active_vertices);
+
+    // Part two: the road-network race, where the tail is the whole run.
+    let road = DatasetProfile::road_net_pa().generate(0.0005, 42);
+    let road_pg = GraphXStrategy::EdgePartition2D.partition(&road, 16);
+    let dense = run(&road_pg, vec![0], ScanMode::Dense);
+    let auto = run(&road_pg, vec![0], ScanMode::Auto);
+    assert_eq!(dense.states, auto.states);
+    assert_eq!(dense.sim, auto.sim);
+    let profile = auto.sim.frontier_profile();
+    assert!(
+        profile.low_active_supersteps > profile.supersteps / 2,
+        "a road-network wavefront should spend most supersteps below 1% active \
+         ({} of {})",
+        profile.low_active_supersteps,
+        profile.supersteps
+    );
 }
 
 /// `examples/oom_postmortem.rs`: long-lineage SSSP on a road network dies of

@@ -64,11 +64,14 @@ fn partitioning_of_golden_graph_is_pinned() {
     assert_eq!(acc, 0xbbf8051c6de9c0bd);
 }
 
-/// The engine's parallel shuffle/apply must be *metering-identical* to the
-/// sequential sweep: not just the same vertex states but the same
-/// [`SimReport`] bit for bit, for every partitioning strategy, for both a
+/// The engine's parallel shuffle/apply AND its frontier-driven sparse scan
+/// path must be *metering-identical* to the sequential dense sweep: not
+/// just the same vertex states but the same [`SimReport`] bit for bit, for
+/// every partitioning strategy × executor mode × scan mode, for both a
 /// fixed-size-state program (PageRank) and a variable-size-state program
-/// (SSSP, which also exercises the incremental residency deltas).
+/// (SSSP, which also exercises the incremental residency deltas and, being
+/// a converging frontier algorithm, actually takes the sparse path under
+/// `ScanMode::Auto`).
 #[test]
 fn executors_are_bit_identical_across_modes_on_all_strategies() {
     use cutfit::algorithms::{pagerank, sssp, Sssp};
@@ -76,9 +79,12 @@ fn executors_are_bit_identical_across_modes_on_all_strategies() {
     let g = DatasetProfile::youtube().generate(0.002, 42);
     let cluster = ClusterConfig::paper_cluster();
     let modes = [
-        ExecutorMode::Sequential,
-        ExecutorMode::Parallel { threads: 4 },
-        ExecutorMode::Auto,
+        (ExecutorMode::Sequential, ScanMode::Dense),
+        (ExecutorMode::Sequential, ScanMode::Auto),
+        (ExecutorMode::Parallel { threads: 4 }, ScanMode::Dense),
+        (ExecutorMode::Parallel { threads: 4 }, ScanMode::Auto),
+        (ExecutorMode::Auto, ScanMode::Sparse),
+        (ExecutorMode::Auto, ScanMode::Auto),
     ];
     let landmarks = Sssp::pick_landmarks(g.num_vertices(), 3, 7);
 
@@ -87,9 +93,10 @@ fn executors_are_bit_identical_across_modes_on_all_strategies() {
 
         let pr: Vec<_> = modes
             .iter()
-            .map(|&executor| {
+            .map(|&(executor, scan_mode)| {
                 let opts = PregelConfig {
                     executor,
+                    scan_mode,
                     ..Default::default()
                 };
                 pagerank(&pg, &cluster, 5, &opts).expect("fits in memory")
@@ -103,9 +110,10 @@ fn executors_are_bit_identical_across_modes_on_all_strategies() {
 
         let sp: Vec<_> = modes
             .iter()
-            .map(|&executor| {
+            .map(|&(executor, scan_mode)| {
                 let opts = PregelConfig {
                     executor,
+                    scan_mode,
                     ..Default::default()
                 };
                 sssp(&pg, &cluster, landmarks.clone(), 10_000, &opts).expect("fits in memory")
